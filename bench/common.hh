@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction harnesses: sweep a
+ * workload over (STM kind x metadata tier x tasklet count x seeds) and
+ * print the throughput / abort-rate / time-breakdown series that
+ * correspond to the paper's plots.
+ *
+ * Every bench binary accepts:
+ *   --quick        smaller workloads (default when PIMSTM_FULL unset)
+ *   --full         paper-scale workloads
+ *   --csv          machine-readable output
+ *   --seeds=N      number of seeds to average (default 3)
+ */
+
+#ifndef PIMSTM_BENCH_COMMON_HH
+#define PIMSTM_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "util/stats_math.hh"
+#include "util/table.hh"
+
+namespace pimstm::bench
+{
+
+/** Command-line options shared by all harnesses. */
+struct BenchOptions
+{
+    bool full = false;
+    bool csv = false;
+    unsigned seeds = 3;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        if (const char *env = std::getenv("PIMSTM_FULL"))
+            o.full = std::strcmp(env, "0") != 0;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--full")
+                o.full = true;
+            else if (a == "--quick")
+                o.full = false;
+            else if (a == "--csv")
+                o.csv = true;
+            else if (a.rfind("--seeds=", 0) == 0)
+                o.seeds = static_cast<unsigned>(
+                    std::stoul(a.substr(std::strlen("--seeds="))));
+            else
+                std::cerr << "ignoring unknown option " << a << "\n";
+        }
+        if (o.seeds == 0)
+            o.seeds = 1;
+        return o;
+    }
+};
+
+/** Aggregated multi-seed result at one sweep point. */
+struct PointResult
+{
+    core::StmKind kind{};
+    core::MetadataTier tier{};
+    unsigned tasklets = 0;
+
+    bool runnable = true;        ///< false when WRAM placement failed
+    double throughput_mean = 0;  ///< committed tx/s
+    double throughput_std = 0;
+    double abort_rate_mean = 0;
+    double app_ops_mean = 0;
+
+    /** Mean share of busy cycles per phase. */
+    std::array<double, sim::kNumPhases> phase_share{};
+
+    /** Extra workload metrics, averaged. */
+    std::map<std::string, double> extra;
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<runtime::Workload>()>;
+
+/** Run one sweep point, averaging over @p seeds seeds. */
+inline PointResult
+runPoint(const WorkloadFactory &factory, core::StmKind kind,
+         core::MetadataTier tier, unsigned tasklets, unsigned seeds,
+         const runtime::RunSpec &base = {})
+{
+    PointResult pr;
+    pr.kind = kind;
+    pr.tier = tier;
+    pr.tasklets = tasklets;
+
+    std::vector<double> tputs, aborts, apps;
+    std::array<std::vector<double>, sim::kNumPhases> shares;
+    std::map<std::string, std::vector<double>> extras;
+
+    for (unsigned s = 0; s < seeds; ++s) {
+        runtime::RunSpec spec = base;
+        spec.kind = kind;
+        spec.tier = tier;
+        spec.tasklets = tasklets;
+        spec.seed = base.seed + s * 7919;
+        auto wl = factory();
+        try {
+            const auto r = runWorkload(*wl, spec);
+            tputs.push_back(r.throughput);
+            aborts.push_back(r.abort_rate);
+            apps.push_back(r.app_ops_per_sec);
+            for (size_t p = 0; p < sim::kNumPhases; ++p)
+                shares[p].push_back(r.phase_share[p]);
+            for (const auto &[k, v] : r.extra)
+                extras[k].push_back(v);
+        } catch (const FatalError &) {
+            // Infeasible configuration (e.g. WRAM metadata that does
+            // not fit): the paper marks these "not runnable".
+            pr.runnable = false;
+            return pr;
+        }
+    }
+    pr.throughput_mean = mean(tputs);
+    pr.throughput_std = stddev(tputs);
+    pr.abort_rate_mean = mean(aborts);
+    pr.app_ops_mean = mean(apps);
+    for (size_t p = 0; p < sim::kNumPhases; ++p)
+        pr.phase_share[p] = mean(shares[p]);
+    for (auto &[k, v] : extras)
+        pr.extra[k] = mean(v);
+    return pr;
+}
+
+/** Default tasklet-count series used by the figures. */
+inline std::vector<unsigned>
+taskletSeries(bool full)
+{
+    if (full)
+        return {1, 2, 4, 6, 8, 11, 16, 20, 24};
+    return {1, 2, 4, 8, 11, 16};
+}
+
+/**
+ * Sweep all STM kinds over the tasklet series and print a throughput /
+ * abort-rate / breakdown table, one row per (kind, tasklets).
+ */
+inline std::vector<PointResult>
+sweepKinds(const std::string &title, const WorkloadFactory &factory,
+           core::MetadataTier tier, const BenchOptions &opt,
+           const runtime::RunSpec &base = {})
+{
+    std::vector<PointResult> results;
+    Table table({"stm", "tasklets", "tput_tx_per_s", "stddev",
+                 "abort_rate", "read%", "write%", "validate%", "commit%",
+                 "wasted%", "other%"});
+    for (core::StmKind kind : core::allStmKinds()) {
+        for (unsigned t : taskletSeries(opt.full)) {
+            PointResult pr =
+                runPoint(factory, kind, tier, t, opt.seeds, base);
+            results.push_back(pr);
+            table.newRow().cell(core::stmKindName(kind)).cell(t);
+            if (!pr.runnable) {
+                for (int c = 0; c < 9; ++c)
+                    table.cell("n/a");
+                continue;
+            }
+            auto share = [&](sim::Phase p) {
+                return 100.0 *
+                       pr.phase_share[static_cast<size_t>(p)];
+            };
+            table.cell(pr.throughput_mean, 1)
+                .cell(pr.throughput_std, 1)
+                .cell(pr.abort_rate_mean, 4)
+                .cell(share(sim::Phase::TxRead), 1)
+                .cell(share(sim::Phase::TxWrite), 1)
+                .cell(share(sim::Phase::TxValidate), 1)
+                .cell(share(sim::Phase::TxCommit), 1)
+                .cell(share(sim::Phase::Wasted), 1)
+                .cell(share(sim::Phase::TxOther) +
+                          share(sim::Phase::NonTx) +
+                          share(sim::Phase::TxStart),
+                      1);
+        }
+    }
+    std::cout << "== " << title << " (metadata "
+              << core::metadataTierName(tier) << ") ==\n";
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.printText(std::cout);
+    std::cout << "\n";
+    return results;
+}
+
+/** Peak throughput over the tasklet series for one (kind, tier). */
+inline double
+peakThroughput(const std::vector<PointResult> &results,
+               core::StmKind kind, core::MetadataTier tier)
+{
+    double best = 0;
+    for (const auto &r : results)
+        if (r.kind == kind && r.tier == tier && r.runnable)
+            best = std::max(best, r.throughput_mean);
+    return best;
+}
+
+} // namespace pimstm::bench
+
+#endif // PIMSTM_BENCH_COMMON_HH

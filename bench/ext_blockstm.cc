@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension bench: the cost of blockchain-style ordered execution
+ * (§5's Block-STM direction) on a DPU. Runs blocks of account-transfer
+ * transactions at varying conflict density, ordered vs unordered, and
+ * reports the ordering overhead (speculative retries) per STM design.
+ */
+
+#include "bench/common.hh"
+#include "hostapp/block_executor.hh"
+
+using namespace pimstm;
+using namespace pimstm::bench;
+using namespace pimstm::hostapp;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const u32 txs = opt.full ? 256 : 96;
+
+    Table table({"accounts", "stm", "mode", "block_tx_per_s",
+                 "abort_rate"});
+
+    for (const u32 accounts : {256u, 16u}) { // sparse vs dense conflicts
+        for (core::StmKind kind :
+             {core::StmKind::NOrec, core::StmKind::TinyEtlWb}) {
+            for (const bool ordered : {true, false}) {
+                BlockExecutorConfig cfg;
+                cfg.kind = kind;
+                cfg.tasklets = 8;
+                cfg.state_words = accounts;
+                const double seeds = opt.seeds;
+                double tput = 0, aborts = 0;
+                for (unsigned s = 0; s < opt.seeds; ++s) {
+                    cfg.seed = 1 + s * 7919;
+                    BlockExecutor exec(cfg);
+                    Rng rng(cfg.seed);
+                    // Pre-draw a transfer plan: (from, to, amount).
+                    std::vector<std::array<u32, 3>> plan(txs);
+                    for (auto &p : plan) {
+                        p[0] = static_cast<u32>(rng.below(accounts));
+                        p[1] = static_cast<u32>(rng.below(accounts));
+                        if (p[1] == p[0])
+                            p[1] = (p[1] + 1) % accounts;
+                        p[2] = static_cast<u32>(rng.range(1, 9));
+                    }
+                    const auto r = exec.run(
+                        txs,
+                        [&](core::TxHandle &tx, u32 i) {
+                            auto &st = exec.state();
+                            const auto &p = plan[i];
+                            const u32 f = tx.read(st.at(p[0]));
+                            const u32 t = tx.read(st.at(p[1]));
+                            tx.write(st.at(p[0]), f - p[2]);
+                            tx.write(st.at(p[1]), t + p[2]);
+                        },
+                        ordered);
+                    tput += static_cast<double>(txs) / r.seconds;
+                    aborts += r.abort_rate;
+                }
+                table.newRow()
+                    .cell(accounts)
+                    .cell(core::stmKindName(kind))
+                    .cell(ordered ? "ordered" : "unordered")
+                    .cell(tput / seeds, 1)
+                    .cell(aborts / seeds, 4);
+            }
+        }
+    }
+
+    std::cout << "== EXT  Block-STM-style ordered blocks (96 transfers, "
+                 "8 tasklets) ==\n";
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.printText(std::cout);
+    return 0;
+}

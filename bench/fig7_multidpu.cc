@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces Fig. 7: speedup of the multi-DPU PIM-STM ports of KMeans
+ * (LC and HC) and Labyrinth (S, M, L) over their CPU implementations,
+ * as the number of DPUs grows.
+ *
+ * Per §4.3.1 the DPU side uses NOrec at the peak tasklet count (WRAM
+ * metadata for KMeans; MRAM for Labyrinth, whose sets exceed WRAM);
+ * the CPU side uses the host NOrec at its optimal thread count (4 for
+ * KMeans, 8 for Labyrinth, 4 independent processes for Labyrinth to
+ * fill all 32 hardware threads). KMeans assigns a fixed shard per DPU,
+ * so the total input grows with the DPU count; Labyrinth gives each
+ * DPU an independent instance.
+ *
+ * Paper shapes to check against:
+ *  - A single DPU is FAR slower than the CPU (100-300x for KMeans).
+ *  - Break-even at a few hundred DPUs; speedup grows ~linearly beyond.
+ *  - KMeans peaks ~14x (HC) / ~6x (LC) at 2500 DPUs.
+ *  - Labyrinth peak gains shrink with grid size (8.48x S -> 2.22x L):
+ *    larger grids under-utilize the DPU pipeline.
+ */
+
+#include "bench/common.hh"
+#include "cpu/kmeans_cpu.hh"
+#include "cpu/labyrinth_cpu.hh"
+#include "hostapp/multi_dpu.hh"
+
+using namespace pimstm;
+using namespace pimstm::bench;
+using namespace pimstm::hostapp;
+
+namespace
+{
+
+const std::vector<unsigned> kDpuSeries = {1,   8,    32,   128, 300,
+                                          600, 1200, 2000, 2500};
+
+void
+kmeansStudy(const BenchOptions &opt, bool high_contention)
+{
+    MultiKMeansParams mp;
+    mp.clusters = high_contention ? 2 : 15;
+    mp.points_per_dpu = opt.full ? 9600 : 1200;
+    mp.sample_dpus = 2;
+
+    // CPU baseline measured once at a tractable scale; its runtime is
+    // linear in the point count (verified by KMeansCpuScalesLinearly
+    // in the test suite), so larger inputs are extrapolated.
+    const u32 cpu_measure_points = opt.full ? 480000 : 96000;
+    cpu::KMeansCpuParams cp;
+    cp.clusters = mp.clusters;
+    cp.total_points = cpu_measure_points;
+    cp.threads = 4;
+    const auto cpu = cpu::runKMeansCpu(cp);
+    const double cpu_sec_per_point = cpu.seconds / cp.total_points;
+
+    Table table({"dpus", "dpu_total_s", "dpu_compute_s", "transfer_s",
+                 "merge_s", "cpu_s", "speedup"});
+    for (unsigned d : kDpuSeries) {
+        const auto t = runKMeansMultiDpu(d, mp);
+        const double cpu_s = cpu_sec_per_point *
+                             static_cast<double>(mp.points_per_dpu) * d;
+        table.newRow()
+            .cell(d)
+            .cell(t.total(), 6)
+            .cell(t.compute_seconds, 6)
+            .cell(t.transfer_seconds, 6)
+            .cell(t.merge_seconds, 6)
+            .cell(cpu_s, 6)
+            .cell(cpu_s / t.total(), 3);
+    }
+    std::cout << "== Fig 7a  KMeans "
+              << (high_contention ? "HC (k=2)" : "LC (k=15)")
+              << " speedup vs CPU ==\n";
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.printText(std::cout);
+    std::cout << "\n";
+}
+
+void
+labyrinthStudy(const BenchOptions &opt, const char *label, u32 x, u32 y,
+               u32 z)
+{
+    MultiLabyrinthParams mp;
+    mp.x = x;
+    mp.y = y;
+    mp.z = z;
+    mp.num_paths = opt.full ? 100 : 32;
+    mp.sample_dpus = 2;
+
+    cpu::LabyrinthCpuParams cp;
+    cp.x = x;
+    cp.y = y;
+    cp.z = z;
+    cp.num_paths = mp.num_paths;
+    cp.threads = 8;
+    const auto cpu = cpu::runLabyrinthCpu(cp);
+
+    Table table({"dpus", "dpu_total_s", "dpu_compute_s", "transfer_s",
+                 "cpu_s", "speedup"});
+    for (unsigned d : kDpuSeries) {
+        const auto t = runLabyrinthMultiDpu(d, mp);
+        // The CPU runs 4 independent 8-thread processes, so D
+        // instances take ceil(D/4) sequential rounds per process.
+        const double cpu_s = cpu.seconds * divCeil(d, 4);
+        table.newRow()
+            .cell(d)
+            .cell(t.total(), 6)
+            .cell(t.compute_seconds, 6)
+            .cell(t.transfer_seconds, 6)
+            .cell(cpu_s, 6)
+            .cell(cpu_s / t.total(), 3);
+    }
+    std::cout << "== Fig 7b  Labyrinth " << label
+              << " speedup vs CPU ==\n";
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.printText(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    kmeansStudy(opt, false);
+    kmeansStudy(opt, true);
+    labyrinthStudy(opt, "S (16x16x3)", 16, 16, 3);
+    labyrinthStudy(opt, "M (32x32x3)", 32, 32, 3);
+    labyrinthStudy(opt, "L (128x128x3)", 128, 128, 3);
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "core/norec.hh"
+
+namespace pimstm::core
+{
+
+NOrecStm::NOrecStm(sim::Dpu &dpu, const StmConfig &cfg)
+    : Stm(dpu, cfg)
+{
+    finalizeLayout();
+}
+
+void
+NOrecStm::doStart(DpuContext &ctx, TxDescriptor &tx)
+{
+    // Snapshot an even (free) sequence lock. The wait while it is odd
+    // is NOrec's built-in contention manager.
+    for (;;) {
+        metaRead(ctx, 8);
+        const u64 s = seqlock_;
+        if ((s & 1) == 0) {
+            tx.snapshot = s;
+            return;
+        }
+        if (cfg_.norec_start_wait)
+            ctx.delay(cfg_.norec_wait_cycles);
+        else
+            ctx.yield();
+    }
+}
+
+void
+NOrecStm::validateAndExtend(DpuContext &ctx, TxDescriptor &tx)
+{
+    const auto prev_phase = ctx.phase();
+    ctx.setPhase(sim::Phase::TxValidate);
+    for (;;) {
+        metaRead(ctx, 8);
+        const u64 s = seqlock_;
+        if (s & 1) {
+            ctx.delay(cfg_.norec_wait_cycles);
+            continue;
+        }
+        // Value-based validation: every previously-read location must
+        // still hold the value this transaction observed.
+        ++stats_.validations;
+        scanCost(ctx, tx.read_set.size(), readEntryBytes());
+        for (const auto &e : tx.read_set) {
+            const u32 cur = ctx.read32(e.addr);
+            if (cur != e.value)
+                txAbort(ctx, tx, AbortReason::ValidationFail);
+        }
+        // The snapshot is only good if no commit raced the validation.
+        metaRead(ctx, 8);
+        if (seqlock_ == s) {
+            tx.snapshot = s;
+            ctx.setPhase(prev_phase);
+            return;
+        }
+    }
+}
+
+u32
+NOrecStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
+{
+    // Write-back means reads must consult the write set first.
+    if (!tx.write_set.empty()) {
+        scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+        const int w = tx.findWrite(a);
+        if (w >= 0)
+            return tx.write_set[static_cast<size_t>(w)].value;
+    }
+
+    u32 v = ctx.read32(a);
+    for (;;) {
+        // Compare the global seqlock against the descriptor's snapshot
+        // — both live in the metadata tier.
+        metaRead(ctx, 16);
+        if (seqlock_ == tx.snapshot)
+            break;
+        // A concurrent commit happened: revalidate, then re-read.
+        validateAndExtend(ctx, tx);
+        v = ctx.read32(a);
+    }
+
+    ReadEntry e;
+    e.addr = a;
+    e.value = v;
+    tx.pushRead(e);
+    // Entry plus the descriptor's set-size counter.
+    metaWrite(ctx, readEntryBytes() + 8);
+    return v;
+}
+
+void
+NOrecStm::doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
+{
+    scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+    const int w = tx.findWrite(a);
+    if (w >= 0) {
+        tx.write_set[static_cast<size_t>(w)].value = v;
+        metaWrite(ctx, writeEntryBytes());
+        return;
+    }
+    WriteEntry e;
+    e.addr = a;
+    e.value = v;
+    tx.pushWrite(e);
+    metaWrite(ctx, writeEntryBytes());
+}
+
+void
+NOrecStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
+{
+    if (tx.write_set.empty())
+        return; // invisible reads + valid snapshot: nothing to do
+
+    // Acquire the sequence lock with the emulated CAS: succeed only if
+    // it still equals our snapshot; otherwise revalidate and retry.
+    for (;;) {
+        ctx.acquire(kSeqKey);
+        metaRead(ctx, 8);
+        if (seqlock_ == tx.snapshot) {
+            seqlock_ = tx.snapshot + 1;
+            metaWrite(ctx, 8);
+            ctx.release(kSeqKey);
+            break;
+        }
+        ctx.release(kSeqKey);
+        validateAndExtend(ctx, tx);
+    }
+
+    // Write back under the (odd) sequence lock.
+    scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+    for (const auto &e : tx.write_set)
+        ctx.write32(e.addr, e.value);
+
+    // Publish: single writer, so a plain store suffices.
+    seqlock_ = tx.snapshot + 2;
+    metaWrite(ctx, 8);
+}
+
+void
+NOrecStm::doAbortCleanup(DpuContext &, TxDescriptor &)
+{
+    // Write-back with commit-time locking: nothing to undo or release.
+}
+
+} // namespace pimstm::core

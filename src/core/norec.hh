@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NOrec (Dalessandro, Spear & Scott, PPoPP'10) ported to the (simulated)
+ * UPMEM DPU, as in §3.2.1 of the paper.
+ *
+ * A single global sequence lock serializes the commit phase of update
+ * transactions; reads are invisible and consistency is ensured by
+ * value-based revalidation of the read set whenever a concurrent commit
+ * is detected. Commit-time locking + write-back minimize the time the
+ * sequence lock is held. The sequence lock doubles as a contention
+ * manager: transactions optionally wait for it to be free before
+ * starting (StmConfig::norec_start_wait, ablation A2).
+ *
+ * The CAS the CPU algorithm uses on the sequence lock does not exist on
+ * UPMEM; it is emulated with an acquire/release bracket on the atomic
+ * register, as §3.2.1 describes.
+ */
+
+#ifndef PIMSTM_CORE_NOREC_HH
+#define PIMSTM_CORE_NOREC_HH
+
+#include "core/stm.hh"
+
+namespace pimstm::core
+{
+
+class NOrecStm : public Stm
+{
+  public:
+    NOrecStm(sim::Dpu &dpu, const StmConfig &cfg);
+
+    const char *name() const override { return "NOrec"; }
+
+    /** Current sequence-lock value (tests only). */
+    u64 seqlock() const { return seqlock_; }
+
+  protected:
+    void doStart(DpuContext &ctx, TxDescriptor &tx) override;
+    u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;
+    void doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v) override;
+    void doCommit(DpuContext &ctx, TxDescriptor &tx) override;
+    void doAbortCleanup(DpuContext &ctx, TxDescriptor &tx) override;
+
+    size_t readEntryBytes() const override { return 8; }  // addr + value
+    size_t writeEntryBytes() const override { return 8; } // addr + value
+    size_t lockTableEntryBytes() const override { return 0; }
+
+  private:
+    /**
+     * Wait for an even (free) sequence lock, validate the read set
+     * against current memory values, and adopt the new snapshot.
+     * Aborts the transaction on validation failure.
+     */
+    void validateAndExtend(DpuContext &ctx, TxDescriptor &tx);
+
+    /** Atomic-register key guarding sequence-lock CAS emulation. */
+    static constexpr u32 kSeqKey = 0x5e91ccccu;
+
+    u64 seqlock_ = 0; // even = free, odd = commit in progress
+};
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_NOREC_HH

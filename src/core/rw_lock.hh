@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The 32-bit read-write lock word of the VR design (Fig. 3 of the
+ * paper), as pure encode/decode helpers. The word layout:
+ *
+ *   bits [1:0]   mode: 00 free, 01 read, 10 write
+ *   read mode:   bits [25:2]  = 24-bit reader-identity bitmap
+ *                bits [31:26] = reader count (6 bits; UPMEM has at most
+ *                               24 concurrent tasklets)
+ *   write mode:  bits [31:2]  = owner identity (the paper stores the
+ *                               word-aligned address of the owner's
+ *                               read set; the tasklet id is an
+ *                               equivalent owner token here)
+ *
+ * Atomicity of read-modify-write on the word is provided by the
+ * caller, which brackets the update with an acquire/release on the
+ * DPU's atomic register, exactly as on real UPMEM hardware.
+ */
+
+#ifndef PIMSTM_CORE_RW_LOCK_HH
+#define PIMSTM_CORE_RW_LOCK_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace pimstm::core::rwlock
+{
+
+enum Mode : u32
+{
+    Free = 0u,
+    Read = 1u,
+    Write = 2u,
+};
+
+constexpr u32 kModeMask = 0x3u;
+constexpr u32 kReaderBitmapShift = 2;
+constexpr u32 kReaderBitmapMask = 0xffffffu; // 24 bits
+constexpr u32 kReaderCountShift = 26;
+constexpr u32 kReaderCountMask = 0x3fu; // 6 bits
+constexpr u32 kWriteOwnerShift = 2;
+
+constexpr u32
+mode(u32 w)
+{
+    return w & kModeMask;
+}
+
+constexpr bool
+isFree(u32 w)
+{
+    return mode(w) == Free;
+}
+
+constexpr bool
+isRead(u32 w)
+{
+    return mode(w) == Read;
+}
+
+constexpr bool
+isWrite(u32 w)
+{
+    return mode(w) == Write;
+}
+
+/** Reader count (valid in read mode). */
+constexpr u32
+readerCount(u32 w)
+{
+    return (w >> kReaderCountShift) & kReaderCountMask;
+}
+
+/** Reader-identity bitmap (valid in read mode). */
+constexpr u32
+readerBitmap(u32 w)
+{
+    return (w >> kReaderBitmapShift) & kReaderBitmapMask;
+}
+
+/** True iff tasklet @p t holds the lock in read mode. */
+constexpr bool
+hasReader(u32 w, unsigned t)
+{
+    return isRead(w) && ((readerBitmap(w) >> t) & 1u);
+}
+
+/** Owner token (valid in write mode). */
+constexpr u32
+writeOwner(u32 w)
+{
+    return w >> kWriteOwnerShift;
+}
+
+/** Encode a read-mode word from a bitmap. */
+inline u32
+makeRead(u32 bitmap)
+{
+    u32 count = 0;
+    for (u32 b = bitmap; b; b &= b - 1)
+        ++count;
+    panicIf(count > kReaderCountMask, "rw-lock reader count overflow");
+    return (count << kReaderCountShift) |
+           ((bitmap & kReaderBitmapMask) << kReaderBitmapShift) | Read;
+}
+
+/** Encode a write-mode word for @p owner. */
+constexpr u32
+makeWrite(u32 owner)
+{
+    return (owner << kWriteOwnerShift) | Write;
+}
+
+/** Add tasklet @p t as a reader (word must be free or read mode). */
+inline u32
+addReader(u32 w, unsigned t)
+{
+    panicIf(t >= 24, "tasklet id exceeds the 24-bit reader bitmap");
+    panicIf(isWrite(w), "addReader on a write-locked word");
+    const u32 bitmap = isRead(w) ? readerBitmap(w) : 0u;
+    return makeRead(bitmap | (1u << t));
+}
+
+/** Remove tasklet @p t as a reader; returns Free when none remain. */
+inline u32
+removeReader(u32 w, unsigned t)
+{
+    panicIf(!isRead(w), "removeReader on a non-read-mode word");
+    const u32 bitmap = readerBitmap(w) & ~(1u << t);
+    return bitmap == 0 ? static_cast<u32>(Free) : makeRead(bitmap);
+}
+
+/** True iff @p t is the *only* reader (upgrade precondition). */
+constexpr bool
+soleReader(u32 w, unsigned t)
+{
+    return isRead(w) && readerBitmap(w) == (1u << t);
+}
+
+} // namespace pimstm::core::rwlock
+
+#endif // PIMSTM_CORE_RW_LOCK_HH

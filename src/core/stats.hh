@@ -1,0 +1,97 @@
+/**
+ * @file
+ * STM-level statistics: commits, aborts by reason, operation counts.
+ * Together with the simulator's per-phase cycle accounting these
+ * regenerate the paper's throughput / abort-rate / time-breakdown plots.
+ */
+
+#ifndef PIMSTM_CORE_STATS_HH
+#define PIMSTM_CORE_STATS_HH
+
+#include <array>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace pimstm::core
+{
+
+/** Why a transaction aborted. */
+enum class AbortReason : u8
+{
+    ReadConflict = 0,  ///< read found a location locked by another tx
+    WriteConflict,     ///< write-lock acquisition failed
+    UpgradeConflict,   ///< rw-lock read->write upgrade failed (VR)
+    ValidationFail,    ///< readset validation / extension failed
+    CommitConflict,    ///< commit-time lock acquisition failed (CTL)
+    UserAbort,         ///< explicit TxHandle::retry()
+    NumReasons,
+};
+
+constexpr size_t kNumAbortReasons =
+    static_cast<size_t>(AbortReason::NumReasons);
+
+constexpr std::string_view
+abortReasonName(AbortReason r)
+{
+    switch (r) {
+      case AbortReason::ReadConflict: return "read-conflict";
+      case AbortReason::WriteConflict: return "write-conflict";
+      case AbortReason::UpgradeConflict: return "upgrade-conflict";
+      case AbortReason::ValidationFail: return "validation-fail";
+      case AbortReason::CommitConflict: return "commit-conflict";
+      case AbortReason::UserAbort: return "user-abort";
+      default: return "?";
+    }
+}
+
+/** Aggregate STM statistics for one DPU. */
+struct StmStats
+{
+    u64 starts = 0;
+    u64 commits = 0;
+    u64 aborts = 0;
+    std::array<u64, kNumAbortReasons> abort_reasons{};
+
+    u64 reads = 0;
+    u64 writes = 0;
+    /** Full readset validations performed. */
+    u64 validations = 0;
+    /** Snapshot extensions (Tiny). */
+    u64 extensions = 0;
+    /** Read-only commits (no commit-time synchronization needed). */
+    u64 read_only_commits = 0;
+
+    /**
+     * Abort rate as the paper plots it: aborted executions over all
+     * transaction executions (commits + aborts).
+     */
+    double
+    abortRate() const
+    {
+        const u64 total = commits + aborts;
+        return total == 0 ? 0.0
+                          : static_cast<double>(aborts) /
+                                static_cast<double>(total);
+    }
+
+    StmStats &
+    operator+=(const StmStats &o)
+    {
+        starts += o.starts;
+        commits += o.commits;
+        aborts += o.aborts;
+        for (size_t i = 0; i < abort_reasons.size(); ++i)
+            abort_reasons[i] += o.abort_reasons[i];
+        reads += o.reads;
+        writes += o.writes;
+        validations += o.validations;
+        extensions += o.extensions;
+        read_only_commits += o.read_only_commits;
+        return *this;
+    }
+};
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_STATS_HH

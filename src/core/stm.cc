@@ -1,0 +1,292 @@
+#include "core/stm.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace pimstm::core
+{
+
+const char *
+stmKindName(StmKind kind)
+{
+    switch (kind) {
+      case StmKind::NOrec: return "NOrec";
+      case StmKind::TinyEtlWb: return "Tiny ETLWB";
+      case StmKind::TinyEtlWt: return "Tiny ETLWT";
+      case StmKind::TinyCtlWb: return "Tiny CTLWB";
+      case StmKind::VrEtlWb: return "VR ETLWB";
+      case StmKind::VrEtlWt: return "VR ETLWT";
+      case StmKind::VrCtlWb: return "VR CTLWB";
+      case StmKind::Tl2: return "TL2";
+      default: return "?";
+    }
+}
+
+const std::vector<StmKind> &
+allStmKinds()
+{
+    static const std::vector<StmKind> kinds = {
+        StmKind::NOrec,
+        StmKind::TinyEtlWb,
+        StmKind::TinyEtlWt,
+        StmKind::TinyCtlWb,
+        StmKind::VrEtlWb,
+        StmKind::VrEtlWt,
+        StmKind::VrCtlWb,
+    };
+    return kinds;
+}
+
+const std::vector<StmKind> &
+allStmKindsExtended()
+{
+    static const std::vector<StmKind> kinds = [] {
+        std::vector<StmKind> all = allStmKinds();
+        all.push_back(StmKind::Tl2);
+        return all;
+    }();
+    return kinds;
+}
+
+//
+// TxHandle
+//
+
+u32
+TxHandle::read(Addr a)
+{
+    return stm_.txRead(ctx_, tx_, a);
+}
+
+void
+TxHandle::write(Addr a, u32 v)
+{
+    stm_.txWrite(ctx_, tx_, a, v);
+}
+
+float
+TxHandle::readFloat(Addr a)
+{
+    return std::bit_cast<float>(read(a));
+}
+
+void
+TxHandle::writeFloat(Addr a, float v)
+{
+    write(a, std::bit_cast<u32>(v));
+}
+
+void
+TxHandle::retry()
+{
+    stm_.txAbort(ctx_, tx_, AbortReason::UserAbort);
+}
+
+//
+// Stm base
+//
+
+Stm::Stm(sim::Dpu &dpu, const StmConfig &cfg)
+    : dpu_(dpu), cfg_(cfg)
+{
+    fatalIf(cfg.num_tasklets == 0, "StmConfig::num_tasklets must be > 0");
+    fatalIf(cfg.num_tasklets > dpu.config().max_tasklets,
+            "StmConfig::num_tasklets exceeds the DPU tasklet count");
+    descriptors_.reserve(cfg.num_tasklets);
+    for (unsigned t = 0; t < cfg.num_tasklets; ++t)
+        descriptors_.emplace_back(t, cfg.max_read_set, cfg.max_write_set);
+}
+
+Stm::~Stm() = default;
+
+TxDescriptor &
+Stm::descriptor(unsigned tasklet)
+{
+    panicIf(tasklet >= descriptors_.size(),
+            "no descriptor for tasklet ", tasklet);
+    return descriptors_[tasklet];
+}
+
+void
+Stm::finalizeLayout()
+{
+    panicIf(layout_done_, "finalizeLayout called twice");
+    reserveMetadata();
+    layout_done_ = true;
+}
+
+void
+Stm::reserveMetadata()
+{
+    // Per-tasklet descriptors (read set + write set + lock list).
+    const size_t per_tasklet =
+        static_cast<size_t>(cfg_.max_read_set) * readEntryBytes() +
+        static_cast<size_t>(cfg_.max_write_set) * writeEntryBytes() +
+        (static_cast<size_t>(cfg_.max_read_set) + cfg_.max_write_set) * 4 +
+        64; // descriptor header (snapshot bounds, counters)
+    const size_t sets_bytes = per_tasklet * cfg_.num_tasklets;
+
+    const Tier meta_tier = toSimTier(cfg_.metadata_tier);
+    auto &meta_mem = dpu_.memory(meta_tier);
+    if (!meta_mem.canAlloc(sets_bytes)) {
+        fatal("STM metadata (", sets_bytes, " bytes of read/write sets) ",
+              "does not fit in ", sim::tierName(meta_tier));
+    }
+    meta_mem.alloc(sets_bytes);
+    if (meta_tier == Tier::Wram)
+        meta_bytes_wram_ += sets_bytes;
+    else
+        meta_bytes_mram_ += sets_bytes;
+
+    // ORec lock table (absent for NOrec).
+    const size_t entry_bytes = lockTableEntryBytes();
+    if (entry_bytes == 0) {
+        lock_table_entries_ = 0;
+        lock_table_tier_ = meta_tier;
+        return;
+    }
+
+    u32 entries = cfg_.lock_table_entries_override
+        ? cfg_.lock_table_entries_override
+        : static_cast<u32>(nextPow2(cfg_.data_words_hint));
+    entries = std::max(entries, cfg_.min_lock_table_entries);
+    entries = std::min(entries, cfg_.max_lock_table_entries);
+    fatalIf(!isPow2(entries), "lock-table size must be a power of two");
+    lock_table_entries_ = entries;
+
+    const size_t table_bytes = static_cast<size_t>(entries) * entry_bytes;
+    Tier table_tier = meta_tier;
+    if (!dpu_.memory(table_tier).canAlloc(table_bytes)) {
+        // The paper's ArrayBench A case: WRAM metadata requested but the
+        // lock table alone exceeds WRAM — spill only the table to MRAM.
+        if (table_tier == Tier::Wram && cfg_.allow_lock_table_spill &&
+            dpu_.mram().canAlloc(table_bytes)) {
+            table_tier = Tier::Mram;
+        } else {
+            fatal("ORec lock table (", table_bytes, " bytes) does not fit ",
+                  "in ", sim::tierName(table_tier));
+        }
+    }
+    dpu_.memory(table_tier).alloc(table_bytes);
+    if (table_tier == Tier::Wram)
+        meta_bytes_wram_ += table_bytes;
+    else
+        meta_bytes_mram_ += table_bytes;
+    lock_table_tier_ = table_tier;
+}
+
+void
+Stm::metaRead(DpuContext &ctx, size_t bytes)
+{
+    ctx.touchRead(toSimTier(cfg_.metadata_tier), bytes);
+}
+
+void
+Stm::metaWrite(DpuContext &ctx, size_t bytes)
+{
+    ctx.touchWrite(toSimTier(cfg_.metadata_tier), bytes);
+}
+
+void
+Stm::lockTableRead(DpuContext &ctx, size_t bytes)
+{
+    ctx.touchRead(lock_table_tier_, bytes);
+}
+
+void
+Stm::lockTableWrite(DpuContext &ctx, size_t bytes)
+{
+    ctx.touchWrite(lock_table_tier_, bytes);
+}
+
+void
+Stm::scanCost(DpuContext &ctx, size_t entries, size_t entry_bytes)
+{
+    if (entries == 0)
+        return;
+    // Sets are contiguous, so a scan streams them in one DMA (MRAM) or
+    // walks them word by word (WRAM).
+    metaRead(ctx, entries * entry_bytes);
+}
+
+void
+Stm::txStart(DpuContext &ctx, TxDescriptor &tx)
+{
+    panicIf(!layout_done_, "STM used before finalizeLayout");
+    ctx.txAccountingBegin();
+    ctx.setPhase(sim::Phase::TxStart);
+    ++stats_.starts;
+    if (cfg_.trace)
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Start);
+    tx.reset();
+    doStart(ctx, tx);
+    ctx.setPhase(sim::Phase::TxOther);
+}
+
+u32
+Stm::txRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
+{
+    ctx.setPhase(sim::Phase::TxRead);
+    const u32 v = doRead(ctx, tx, a);
+    ++stats_.reads;
+    if (cfg_.trace)
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Read, a);
+    ctx.setPhase(sim::Phase::TxOther);
+    return v;
+}
+
+void
+Stm::txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
+{
+    ctx.setPhase(sim::Phase::TxWrite);
+    doWrite(ctx, tx, a, v);
+    tx.read_only = false;
+    ++stats_.writes;
+    if (cfg_.trace)
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Write, a);
+    ctx.setPhase(sim::Phase::TxOther);
+}
+
+void
+Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
+{
+    ctx.setPhase(sim::Phase::TxCommit);
+    doCommit(ctx, tx);
+    ++stats_.commits;
+    if (cfg_.trace)
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Commit);
+    if (tx.read_only)
+        ++stats_.read_only_commits;
+    tx.retries = 0;
+    ctx.txAccountingCommit();
+    ctx.setPhase(sim::Phase::NonTx);
+}
+
+void
+Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason)
+{
+    doAbortCleanup(ctx, tx);
+    ++stats_.aborts;
+    ++stats_.abort_reasons[static_cast<size_t>(reason)];
+    if (cfg_.trace) {
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Abort,
+                           static_cast<u32>(reason));
+    }
+    ++tx.retries;
+    ctx.txAccountingAbort();
+    if (cfg_.abort_backoff) {
+        // Randomized exponential back-off: breaks deterministic
+        // abort-retry lockstep between symmetric tasklets.
+        const unsigned shift = static_cast<unsigned>(
+            std::min<u64>(tx.retries, cfg_.abort_backoff_max_shift));
+        const Cycles window = cfg_.abort_backoff_base << shift;
+        ctx.setPhase(sim::Phase::Wasted);
+        ctx.delay(ctx.rng().range(1, window));
+    }
+    ctx.setPhase(sim::Phase::NonTx);
+    throw TxAbortException{reason};
+}
+
+} // namespace pimstm::core

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Public API of the PIM-STM library.
+ *
+ * PIM-STM provides the abstraction of atomic transactions to code
+ * running on a (simulated) UPMEM DPU. Seven STM implementations cover
+ * the viable corners of the design taxonomy in Fig. 2 of the paper:
+ *
+ *   NOrec                 global seqlock, invisible reads, CTL, WB
+ *   Tiny  ETLWB/ETLWT/CTLWB   ORecs, invisible reads
+ *   VR    ETLWB/ETLWT/CTLWB   ORecs as rw-locks, visible reads
+ *
+ * Transactions are strictly local to one DPU (the paper's key design
+ * choice: inter-DPU reads are ~1000x slower and cannot overlap with
+ * computation). STM metadata may live in WRAM (fast, 64 KB) or MRAM
+ * (slow, 64 MB); the placement is a per-instance configuration knob —
+ * the runtime analogue of the paper's compile-time macros.
+ *
+ * Typical use from a tasklet body:
+ * @code
+ *   atomically(stm, ctx, [&](TxHandle &tx) {
+ *       u32 v = tx.read(addr);
+ *       tx.write(addr, v + 1);
+ *   });
+ * @endcode
+ */
+
+#ifndef PIMSTM_CORE_STM_HH
+#define PIMSTM_CORE_STM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats.hh"
+#include "core/trace.hh"
+#include "core/tx_descriptor.hh"
+#include "sim/dpu.hh"
+#include "util/types.hh"
+
+namespace pimstm::core
+{
+
+using sim::Addr;
+using sim::DpuContext;
+using sim::Tier;
+
+/** The seven STM implementations of the PIM-STM library. */
+enum class StmKind : u8
+{
+    NOrec = 0,
+    TinyEtlWb,
+    TinyEtlWt,
+    TinyCtlWb,
+    VrEtlWb,
+    VrEtlWt,
+    VrCtlWb,
+    /** Extension: classic TL2 (Dice, Shalev & Shavit) — Tiny's CTL+WB
+     * design WITHOUT snapshot extension; included to quantify the
+     * benefit the paper credits Tiny's extension mechanism with. */
+    Tl2,
+    NumKinds,
+};
+
+constexpr size_t kNumStmKinds = static_cast<size_t>(StmKind::NumKinds);
+
+/** Short display name ("NOrec", "Tiny ETLWB", ...). */
+const char *stmKindName(StmKind kind);
+
+/** The paper's seven kinds, in taxonomy order, for sweep harnesses. */
+const std::vector<StmKind> &allStmKinds();
+
+/** The paper's seven kinds plus the TL2 extension. */
+const std::vector<StmKind> &allStmKindsExtended();
+
+/** Where STM metadata lives (the paper's WRAM-vs-MRAM study axis). */
+enum class MetadataTier : u8
+{
+    Wram,
+    Mram,
+};
+
+constexpr Tier
+toSimTier(MetadataTier t)
+{
+    return t == MetadataTier::Wram ? Tier::Wram : Tier::Mram;
+}
+
+constexpr const char *
+metadataTierName(MetadataTier t)
+{
+    return t == MetadataTier::Wram ? "WRAM" : "MRAM";
+}
+
+/** Per-instance STM configuration. */
+struct StmConfig
+{
+    StmKind kind = StmKind::NOrec;
+    MetadataTier metadata_tier = MetadataTier::Mram;
+
+    /** Tasklets that will use this instance (sizes the descriptors). */
+    unsigned num_tasklets = 1;
+
+    /** Per-tasklet read-set / write-set capacity, in entries. */
+    unsigned max_read_set = 256;
+    unsigned max_write_set = 64;
+
+    /**
+     * Shared-data footprint hint in 32-bit words; the ORec lock table is
+     * sized to nextPow2(hint), clamped to [min,max]_lock_table_entries.
+     * Ignored by NOrec, which has no lock table.
+     */
+    u32 data_words_hint = 1024;
+    u32 min_lock_table_entries = 64;
+    u32 max_lock_table_entries = 64 * 1024;
+    /** Non-zero overrides the hint-derived lock-table size (A1). */
+    u32 lock_table_entries_override = 0;
+
+    /**
+     * When WRAM metadata is requested but the lock table does not fit,
+     * spill only the lock table to MRAM (the paper does exactly this
+     * for ArrayBench A, appendix A). If false, construction fails.
+     */
+    bool allow_lock_table_spill = true;
+
+    /** NOrec's wait-until-seqlock-free at start (contention manager).
+     * Switchable for the A2 ablation. */
+    bool norec_start_wait = true;
+
+    /** Cycles NOrec stalls per poll while the seqlock is held. */
+    Cycles norec_wait_cycles = 32;
+
+    /**
+     * Randomized exponential back-off after an abort. On real hardware
+     * retry timing is jittered by the pipeline and DMA engine; in the
+     * deterministic simulator an explicit jitter is required to break
+     * symmetric abort-retry lockstep (most visible with VR upgrades).
+     */
+    bool abort_backoff = true;
+    Cycles abort_backoff_base = 16;
+    unsigned abort_backoff_max_shift = 12;
+
+    /** Optional transaction event trace (not owned; may be null). */
+    TraceBuffer *trace = nullptr;
+
+    /**
+     * Wait-on-contention manager (the taxonomy footnote in §3.2: a
+     * plausible but less common design where a transaction waits when
+     * it encounters a held lock rather than aborting immediately).
+     * When non-zero, ORec-based designs poll a contended lock up to
+     * cm_wait_polls times, cm_wait_cycles apart, before giving up and
+     * aborting. 0 = the paper's abort-immediately behaviour.
+     */
+    unsigned cm_wait_polls = 0;
+    Cycles cm_wait_cycles = 64;
+};
+
+/** Thrown (internally) to unwind an aborted transaction to its retry
+ * loop. User code should not catch it. */
+struct TxAbortException
+{
+    AbortReason reason;
+};
+
+class Stm;
+
+/**
+ * Handle passed to the body of atomically(): the only sanctioned way to
+ * touch shared data inside a transaction.
+ */
+class TxHandle
+{
+  public:
+    TxHandle(Stm &stm, DpuContext &ctx, TxDescriptor &tx)
+        : stm_(stm), ctx_(ctx), tx_(tx)
+    {}
+
+    /** Transactional 32-bit read. */
+    u32 read(Addr a);
+
+    /** Transactional 32-bit write. */
+    void write(Addr a, u32 v);
+
+    /** @{ Float convenience (bit-cast over 32-bit words). */
+    float readFloat(Addr a);
+    void writeFloat(Addr a, float v);
+    /** @} */
+
+    /** Explicitly abort and retry the transaction. */
+    [[noreturn]] void retry();
+
+    DpuContext &ctx() { return ctx_; }
+
+  private:
+    Stm &stm_;
+    DpuContext &ctx_;
+    TxDescriptor &tx_;
+};
+
+/**
+ * Base class of all seven STM implementations. One instance per DPU;
+ * tasklets of that DPU share it. The base class owns the descriptors,
+ * the statistics, metadata-tier cost charging and the simulated-memory
+ * capacity reservation; subclasses implement the algorithm.
+ */
+class Stm
+{
+  public:
+    Stm(sim::Dpu &dpu, const StmConfig &cfg);
+    virtual ~Stm();
+
+    Stm(const Stm &) = delete;
+    Stm &operator=(const Stm &) = delete;
+
+    /** Algorithm display name. */
+    virtual const char *name() const = 0;
+
+    StmKind kind() const { return cfg_.kind; }
+    const StmConfig &config() const { return cfg_; }
+    MetadataTier metadataTier() const { return cfg_.metadata_tier; }
+
+    /** Descriptor of @p tasklet (also reachable via ctx.taskletId()). */
+    TxDescriptor &descriptor(unsigned tasklet);
+
+    /** @{ Transaction demarcation; normally used via atomically(). */
+    void txStart(DpuContext &ctx, TxDescriptor &tx);
+    u32 txRead(DpuContext &ctx, TxDescriptor &tx, Addr a);
+    void txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v);
+    void txCommit(DpuContext &ctx, TxDescriptor &tx);
+    [[noreturn]] void txAbort(DpuContext &ctx, TxDescriptor &tx,
+                              AbortReason reason);
+    /** @} */
+
+    /** Aggregate statistics across all tasklets of this DPU. */
+    const StmStats &stats() const { return stats_; }
+    StmStats &stats() { return stats_; }
+
+    /** Effective tier of the ORec lock table (may have spilled). */
+    Tier lockTableTier() const { return lock_table_tier_; }
+
+    /** Entries in the ORec lock table (0 for NOrec). */
+    u32 lockTableEntries() const { return lock_table_entries_; }
+
+    /** Bytes of simulated memory reserved for metadata, per tier. */
+    size_t metadataBytesWram() const { return meta_bytes_wram_; }
+    size_t metadataBytesMram() const { return meta_bytes_mram_; }
+
+  protected:
+    /** @{ Algorithm hooks. doCommit/doRead/doWrite may abort by calling
+     * txAbort(), which cleans up via doAbortCleanup() and throws. */
+    virtual void doStart(DpuContext &ctx, TxDescriptor &tx) = 0;
+    virtual u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) = 0;
+    virtual void doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a,
+                         u32 v) = 0;
+    virtual void doCommit(DpuContext &ctx, TxDescriptor &tx) = 0;
+    virtual void doAbortCleanup(DpuContext &ctx, TxDescriptor &tx) = 0;
+
+    /** Entry sizes, used for capacity reservation and scan costs. */
+    virtual size_t readEntryBytes() const = 0;
+    virtual size_t writeEntryBytes() const = 0;
+
+    /** Lock-table entry size (0 = no table, i.e. NOrec). */
+    virtual size_t lockTableEntryBytes() const = 0;
+    /** @} */
+
+    /** @{ Metadata cost charging at the configured placement. */
+    void metaRead(DpuContext &ctx, size_t bytes);
+    void metaWrite(DpuContext &ctx, size_t bytes);
+    /** Lock-table access cost (may differ from metaRead after spill). */
+    void lockTableRead(DpuContext &ctx, size_t bytes);
+    void lockTableWrite(DpuContext &ctx, size_t bytes);
+    /** @} */
+
+    /** Map a data address to a lock-table index. Like TinySTM's
+     * LOCK_IDX this direct-maps consecutive words to consecutive
+     * entries, so a table at least as large as the data has no
+     * aliasing at all; smaller tables alias with stride = table size
+     * (the paper's memory-vs-aliasing trade-off, ablation A1). */
+    u32
+    lockIndexFor(Addr a) const
+    {
+        return (a >> 2) & (lock_table_entries_ - 1);
+    }
+
+    /** Charge the cost of scanning @p entries set entries of
+     * @p entry_bytes each (streamed, not per-entry). */
+    void scanCost(DpuContext &ctx, size_t entries, size_t entry_bytes);
+
+    sim::Dpu &dpu_;
+    StmConfig cfg_;
+    StmStats stats_;
+    std::vector<TxDescriptor> descriptors_;
+
+  private:
+    /** Reserve simulated memory for descriptors and the lock table;
+     * resolves lock-table spill. Called from the constructor tail via
+     * finalizeLayout() in each subclass ctor. */
+    friend class StmFactoryAccess;
+
+    void reserveMetadata();
+
+    Tier lock_table_tier_ = Tier::Mram;
+    u32 lock_table_entries_ = 0;
+    size_t meta_bytes_wram_ = 0;
+    size_t meta_bytes_mram_ = 0;
+    bool layout_done_ = false;
+
+  protected:
+    /** Must be invoked at the end of every concrete constructor. */
+    void finalizeLayout();
+};
+
+/**
+ * Run @p body as a transaction, retrying on abort until it commits.
+ * This is the intended user entry point.
+ */
+template <typename Body>
+void
+atomically(Stm &stm, DpuContext &ctx, Body &&body)
+{
+    TxDescriptor &tx = stm.descriptor(ctx.taskletId());
+    for (;;) {
+        stm.txStart(ctx, tx);
+        try {
+            TxHandle h(stm, ctx, tx);
+            body(h);
+            stm.txCommit(ctx, tx);
+            return;
+        } catch (const TxAbortException &) {
+            // Cleanup already done by txAbort(); just retry.
+        }
+    }
+}
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_STM_HH

@@ -1,0 +1,31 @@
+#include "core/stm_factory.hh"
+
+#include "core/norec.hh"
+#include "core/tiny.hh"
+#include "core/vr.hh"
+#include "util/logging.hh"
+
+namespace pimstm::core
+{
+
+std::unique_ptr<Stm>
+makeStm(sim::Dpu &dpu, const StmConfig &cfg)
+{
+    switch (cfg.kind) {
+      case StmKind::NOrec:
+        return std::make_unique<NOrecStm>(dpu, cfg);
+      case StmKind::TinyEtlWb:
+      case StmKind::TinyEtlWt:
+      case StmKind::TinyCtlWb:
+      case StmKind::Tl2:
+        return std::make_unique<TinyStm>(dpu, cfg);
+      case StmKind::VrEtlWb:
+      case StmKind::VrEtlWt:
+      case StmKind::VrCtlWb:
+        return std::make_unique<VrStm>(dpu, cfg);
+      default:
+        fatal("unknown StmKind ", static_cast<int>(cfg.kind));
+    }
+}
+
+} // namespace pimstm::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Transaction event tracing: an optional bounded ring buffer of
+ * timestamped per-tasklet STM events (start/read/write/commit/abort),
+ * attached via StmConfig::trace. Debugging concurrency on PIM devices
+ * is notoriously hard (no debugger attaches to 24 tasklets in a DRAM
+ * chip); a post-mortem event trace of the exact interleaving is the
+ * pragmatic substitute, and determinism makes every trace replayable.
+ */
+
+#ifndef PIMSTM_CORE_TRACE_HH
+#define PIMSTM_CORE_TRACE_HH
+
+#include <array>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/addr.hh"
+#include "util/types.hh"
+
+namespace pimstm::core
+{
+
+enum class TxEvent : u8
+{
+    Start = 0,
+    Read,
+    Write,
+    Commit,
+    Abort,
+    NumEvents,
+};
+
+constexpr size_t kNumTxEvents = static_cast<size_t>(TxEvent::NumEvents);
+
+constexpr std::string_view
+txEventName(TxEvent e)
+{
+    switch (e) {
+      case TxEvent::Start: return "start";
+      case TxEvent::Read: return "read";
+      case TxEvent::Write: return "write";
+      case TxEvent::Commit: return "commit";
+      case TxEvent::Abort: return "abort";
+      default: return "?";
+    }
+}
+
+/** One traced event. */
+struct TraceRecord
+{
+    Cycles time = 0;
+    u8 tasklet = 0;
+    TxEvent event = TxEvent::Start;
+    /** Address for Read/Write; abort-reason index for Abort. */
+    u32 arg = 0;
+};
+
+/** Bounded ring buffer of TraceRecords; oldest entries are dropped. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity = 4096)
+        : capacity_(capacity)
+    {
+        records_.reserve(capacity);
+    }
+
+    void
+    record(Cycles time, unsigned tasklet, TxEvent event, u32 arg = 0)
+    {
+        TraceRecord r;
+        r.time = time;
+        r.tasklet = static_cast<u8>(tasklet);
+        r.event = event;
+        r.arg = arg;
+        ++counts_[static_cast<size_t>(event)];
+        if (records_.size() < capacity_) {
+            records_.push_back(r);
+        } else {
+            records_[head_] = r;
+            head_ = (head_ + 1) % capacity_;
+            ++dropped_;
+        }
+    }
+
+    /** Events in chronological order (oldest first). */
+    std::vector<TraceRecord>
+    snapshot() const
+    {
+        std::vector<TraceRecord> out;
+        out.reserve(records_.size());
+        for (size_t i = 0; i < records_.size(); ++i)
+            out.push_back(records_[(head_ + i) % records_.size()]);
+        return out;
+    }
+
+    /** Total events of @p e ever recorded (including dropped). */
+    u64
+    count(TxEvent e) const
+    {
+        return counts_[static_cast<size_t>(e)];
+    }
+
+    u64 dropped() const { return dropped_; }
+    size_t size() const { return records_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    void
+    clear()
+    {
+        records_.clear();
+        head_ = 0;
+        dropped_ = 0;
+        counts_.fill(0);
+    }
+
+    /** Dump as "cycle tasklet event arg" lines, optionally filtered
+     * to one tasklet (pass -1 for all). */
+    void
+    dump(std::ostream &os, int tasklet_filter = -1) const
+    {
+        for (const auto &r : snapshot()) {
+            if (tasklet_filter >= 0 && r.tasklet != tasklet_filter)
+                continue;
+            os << r.time << " t" << static_cast<unsigned>(r.tasklet)
+               << " " << txEventName(r.event);
+            if (r.event == TxEvent::Read || r.event == TxEvent::Write) {
+                os << " " << sim::tierName(sim::addrTier(r.arg)) << "+"
+                   << sim::addrOffset(r.arg);
+            } else if (r.event == TxEvent::Abort) {
+                os << " " << r.arg;
+            }
+            os << "\n";
+        }
+    }
+
+  private:
+    size_t capacity_;
+    std::vector<TraceRecord> records_;
+    size_t head_ = 0;
+    u64 dropped_ = 0;
+    std::array<u64, kNumTxEvents> counts_{};
+};
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_TRACE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Per-tasklet transaction descriptor: read set, write set, held locks
+ * and snapshot bounds. One struct serves all seven algorithms; each
+ * algorithm uses the fields it needs (NOrec: value-based read set;
+ * Tiny: version-based read set + write orecs; VR: lock list only).
+ *
+ * The entry *values* live in host memory (the simulation is
+ * single-threaded), but every append / lookup / scan is priced at the
+ * configured metadata tier by the Stm base class, and the capacity is
+ * reserved in simulated memory so WRAM placement fails exactly when the
+ * paper says it must.
+ */
+
+#ifndef PIMSTM_CORE_TX_DESCRIPTOR_HH
+#define PIMSTM_CORE_TX_DESCRIPTOR_HH
+
+#include <vector>
+
+#include "sim/addr.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace pimstm::core
+{
+
+/** One read-set entry. */
+struct ReadEntry
+{
+    sim::Addr addr = 0;
+    /** Value observed (NOrec value-based validation). */
+    u32 value = 0;
+    /** ORec version observed (Tiny). */
+    u64 version = 0;
+    /** Lock-table index of addr (Tiny; avoids rehashing). */
+    u32 lock_index = 0;
+};
+
+/** One write-set entry (WB: new value buffered; WT: undo value). */
+struct WriteEntry
+{
+    sim::Addr addr = 0;
+    /** New value (write-back). */
+    u32 value = 0;
+    /** Previous memory value (write-through undo). */
+    u32 old_value = 0;
+    /** ORec version before acquisition (Tiny WT abort path). */
+    u64 old_version = 0;
+    /** Lock-table index of addr. */
+    u32 lock_index = 0;
+};
+
+/** A lock held by the transaction (lock-table index + mode). */
+struct HeldLock
+{
+    u32 index = 0;
+    bool write_mode = false;
+};
+
+/** Per-tasklet transaction context. */
+class TxDescriptor
+{
+  public:
+    TxDescriptor(unsigned tasklet, unsigned rs_cap, unsigned ws_cap)
+        : tasklet_(tasklet), rs_cap_(rs_cap), ws_cap_(ws_cap)
+    {
+        read_set.reserve(rs_cap);
+        write_set.reserve(ws_cap);
+        locks.reserve(static_cast<size_t>(rs_cap) + ws_cap);
+    }
+
+    unsigned tasklet() const { return tasklet_; }
+
+    /** Reset for a fresh transaction attempt. */
+    void
+    reset()
+    {
+        read_set.clear();
+        write_set.clear();
+        locks.clear();
+        snapshot = 0;
+        upper = 0;
+        read_only = true;
+    }
+
+    /** Append to the read set, enforcing the reserved capacity. */
+    void
+    pushRead(const ReadEntry &e)
+    {
+        fatalIf(read_set.size() >= rs_cap_,
+                "read-set overflow (capacity ", rs_cap_,
+                "); raise StmConfig::max_read_set");
+        read_set.push_back(e);
+    }
+
+    /** Append to the write set, enforcing the reserved capacity. */
+    void
+    pushWrite(const WriteEntry &e)
+    {
+        fatalIf(write_set.size() >= ws_cap_,
+                "write-set overflow (capacity ", ws_cap_,
+                "); raise StmConfig::max_write_set");
+        write_set.push_back(e);
+    }
+
+    /** Linear write-set lookup; returns index or -1. The *cost* of the
+     * scan is charged by the caller (it depends on the metadata tier). */
+    int
+    findWrite(sim::Addr a) const
+    {
+        for (size_t i = 0; i < write_set.size(); ++i)
+            if (write_set[i].addr == a)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Linear read-set membership check (cost charged by caller). */
+    bool
+    hasRead(sim::Addr a) const
+    {
+        for (const auto &e : read_set)
+            if (e.addr == a)
+                return true;
+        return false;
+    }
+
+    unsigned readCapacity() const { return rs_cap_; }
+    unsigned writeCapacity() const { return ws_cap_; }
+
+    std::vector<ReadEntry> read_set;
+    std::vector<WriteEntry> write_set;
+    std::vector<HeldLock> locks;
+
+    /** Snapshot timestamp (NOrec seqlock value / Tiny lower bound). */
+    u64 snapshot = 0;
+    /** Tiny snapshot upper bound (extensible). */
+    u64 upper = 0;
+    /** True until the first write. */
+    bool read_only = true;
+
+    /** Consecutive aborts of the current atomic block (drives the
+     * randomized retry back-off; cleared on commit, not by reset()). */
+    u64 retries = 0;
+
+  private:
+    unsigned tasklet_;
+    unsigned rs_cap_;
+    unsigned ws_cap_;
+};
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_TX_DESCRIPTOR_HH

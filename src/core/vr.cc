@@ -1,0 +1,249 @@
+#include "core/vr.hh"
+
+#include "core/rw_lock.hh"
+#include "util/logging.hh"
+
+namespace pimstm::core
+{
+
+VrStm::VrStm(sim::Dpu &dpu, const StmConfig &cfg)
+    : Stm(dpu, cfg)
+{
+    switch (cfg.kind) {
+      case StmKind::VrEtlWb:
+        etl_ = true;
+        wb_ = true;
+        break;
+      case StmKind::VrEtlWt:
+        etl_ = true;
+        wb_ = false;
+        break;
+      case StmKind::VrCtlWb:
+        etl_ = false;
+        wb_ = true;
+        break;
+      default:
+        fatal("VrStm constructed with non-VR kind");
+    }
+    finalizeLayout();
+    table_.assign(lockTableEntries(), rwlock::Free);
+}
+
+const char *
+VrStm::name() const
+{
+    if (etl_)
+        return wb_ ? "VR ETLWB" : "VR ETLWT";
+    return "VR CTLWB";
+}
+
+void
+VrStm::doStart(DpuContext &, TxDescriptor &)
+{
+    // No snapshot, no clock: visible reads need no start bookkeeping.
+}
+
+void
+VrStm::readLock(DpuContext &ctx, TxDescriptor &tx, u32 index)
+{
+    const unsigned me = tx.tasklet();
+    unsigned poll = 0;
+retry:
+    ctx.acquire(index);
+    lockTableRead(ctx, 4);
+    const u32 w = table_[index];
+
+    if (rwlock::isWrite(w)) {
+        const bool mine = rwlock::writeOwner(w) == me;
+        ctx.release(index);
+        if (mine)
+            return; // our write lock subsumes read permission
+        if (poll < cfg_.cm_wait_polls) {
+            // Wait-on-contention: poll the writer a bounded number of
+            // times before aborting.
+            ++poll;
+            ctx.delay(cfg_.cm_wait_cycles);
+            goto retry;
+        }
+        txAbort(ctx, tx, AbortReason::ReadConflict);
+    }
+    if (rwlock::hasReader(w, me)) {
+        ctx.release(index);
+        return; // already visible — the reader bitmap spares re-locking
+    }
+    table_[index] = rwlock::addReader(w, me);
+    lockTableWrite(ctx, 4);
+    ctx.release(index);
+    tx.locks.push_back({index, false});
+}
+
+void
+VrStm::writeLock(DpuContext &ctx, TxDescriptor &tx, u32 index,
+                 bool at_commit)
+{
+    const unsigned me = tx.tasklet();
+    unsigned poll = 0;
+retry:
+    ctx.acquire(index);
+    lockTableRead(ctx, 4);
+    const u32 w = table_[index];
+
+    if (rwlock::isWrite(w)) {
+        const bool mine = rwlock::writeOwner(w) == me;
+        ctx.release(index);
+        if (mine)
+            return;
+        if (poll < cfg_.cm_wait_polls) {
+            ++poll;
+            ctx.delay(cfg_.cm_wait_cycles);
+            goto retry;
+        }
+        txAbort(ctx, tx, at_commit ? AbortReason::CommitConflict
+                                   : AbortReason::WriteConflict);
+    }
+    if (rwlock::isFree(w)) {
+        table_[index] = rwlock::makeWrite(me);
+        lockTableWrite(ctx, 4);
+        ctx.release(index);
+        tx.locks.push_back({index, true});
+        return;
+    }
+    // Read mode: upgrade only if we are the sole reader; otherwise
+    // abort immediately (deadlock avoidance, §3.2.1 — the source of
+    // VR's spurious aborts under contention).
+    if (rwlock::soleReader(w, me)) {
+        table_[index] = rwlock::makeWrite(me);
+        lockTableWrite(ctx, 4);
+        ctx.release(index);
+        for (auto &l : tx.locks) {
+            if (l.index == index) {
+                l.write_mode = true;
+                return;
+            }
+        }
+        panic("upgraded a read lock that was not recorded");
+    }
+    const bool i_am_reader = rwlock::hasReader(w, me);
+    ctx.release(index);
+    txAbort(ctx, tx,
+            i_am_reader ? AbortReason::UpgradeConflict
+                        : (at_commit ? AbortReason::CommitConflict
+                                     : AbortReason::WriteConflict));
+}
+
+void
+VrStm::releaseAll(DpuContext &ctx, TxDescriptor &tx)
+{
+    const unsigned me = tx.tasklet();
+    for (const auto &l : tx.locks) {
+        ctx.acquire(l.index);
+        lockTableRead(ctx, 4);
+        const u32 w = table_[l.index];
+        if (rwlock::isWrite(w)) {
+            panicIf(rwlock::writeOwner(w) != me,
+                    "releasing a write lock we do not own");
+            table_[l.index] = rwlock::Free;
+        } else {
+            panicIf(!rwlock::hasReader(w, me),
+                    "releasing a read lock we do not hold");
+            table_[l.index] = rwlock::removeReader(w, me);
+        }
+        lockTableWrite(ctx, 4);
+        ctx.release(l.index);
+    }
+    tx.locks.clear();
+}
+
+u32
+VrStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
+{
+    const u32 index = lockIndexFor(a);
+    readLock(ctx, tx, index);
+
+    if (wb_ && !tx.write_set.empty()) {
+        // Write-back: our own pending write must win. With ETL we only
+        // need to scan when we hold the slot in write mode, which the
+        // reader bitmap / owner check told us for free; CTL buffers
+        // writes without locks, so it must always scan.
+        bool might_have_written = !etl_;
+        if (etl_) {
+            const u32 w = table_[index];
+            might_have_written = rwlock::isWrite(w) &&
+                                 rwlock::writeOwner(w) == tx.tasklet();
+        }
+        if (might_have_written) {
+            scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+            const int i = tx.findWrite(a);
+            if (i >= 0)
+                return tx.write_set[static_cast<size_t>(i)].value;
+        }
+    }
+    // Visible read: the read lock protects the location until commit,
+    // so no validation is ever needed.
+    return ctx.read32(a);
+}
+
+void
+VrStm::recordWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v,
+                   u32 index)
+{
+    scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+    const int i = tx.findWrite(a);
+    if (i >= 0) {
+        tx.write_set[static_cast<size_t>(i)].value = v;
+        metaWrite(ctx, writeEntryBytes());
+        if (!wb_)
+            ctx.write32(a, v);
+        return;
+    }
+    WriteEntry e;
+    e.addr = a;
+    e.value = v;
+    e.lock_index = index;
+    if (!wb_)
+        e.old_value = ctx.read32(a);
+    tx.pushWrite(e);
+    metaWrite(ctx, writeEntryBytes());
+    if (!wb_)
+        ctx.write32(a, v);
+}
+
+void
+VrStm::doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
+{
+    const u32 index = lockIndexFor(a);
+    if (etl_)
+        writeLock(ctx, tx, index, false);
+    recordWrite(ctx, tx, a, v, index);
+}
+
+void
+VrStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
+{
+    if (!etl_) {
+        // Commit-time locking: upgrade/acquire write locks for the
+        // whole write set now.
+        for (const auto &e : tx.write_set)
+            writeLock(ctx, tx, e.lock_index, true);
+    }
+    if (wb_ && !tx.write_set.empty()) {
+        scanCost(ctx, tx.write_set.size(), writeEntryBytes());
+        for (const auto &e : tx.write_set)
+            ctx.write32(e.addr, e.value);
+    }
+    releaseAll(ctx, tx);
+}
+
+void
+VrStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
+{
+    if (!wb_) {
+        for (auto it = tx.write_set.rbegin(); it != tx.write_set.rend();
+             ++it) {
+            ctx.write32(it->addr, it->old_value);
+        }
+    }
+    releaseAll(ctx, tx);
+}
+
+} // namespace pimstm::core

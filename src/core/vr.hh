@@ -1,0 +1,84 @@
+/**
+ * @file
+ * VR — the Visible-Reads STM designed by the paper (§3.2.1), inspired by
+ * classic DBMS lock-based concurrency control and adapted to guarantee
+ * opacity. Covers the ORec + visible-reads sub-tree of the taxonomy:
+ * ETL+WB, ETL+WT and CTL+WB.
+ *
+ * Every lock-table entry is the 32-bit rw-lock word of Fig. 3 (reader
+ * count + 24-bit reader-identity bitmap, or write owner). Reads acquire
+ * the rw-lock in read mode immediately — making them visible — so no
+ * readset validation is ever needed: writers simply cannot invalidate a
+ * location someone is reading. The price is spurious aborts: any
+ * incompatible acquisition (including read->write upgrades while other
+ * readers are present) aborts immediately to stay deadlock-free.
+ *
+ * Lock-word RMWs are bracketed by the DPU atomic register, whose
+ * hash-aliasing is faithfully modelled.
+ */
+
+#ifndef PIMSTM_CORE_VR_HH
+#define PIMSTM_CORE_VR_HH
+
+#include <vector>
+
+#include "core/stm.hh"
+
+namespace pimstm::core
+{
+
+class VrStm : public Stm
+{
+  public:
+    VrStm(sim::Dpu &dpu, const StmConfig &cfg);
+
+    const char *name() const override;
+
+    bool encounterTimeLocking() const { return etl_; }
+    bool writeBack() const { return wb_; }
+
+    /** Raw lock word (tests only). */
+    u32 lockWord(u32 index) const { return table_[index]; }
+
+  protected:
+    void doStart(DpuContext &ctx, TxDescriptor &tx) override;
+    u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;
+    void doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v) override;
+    void doCommit(DpuContext &ctx, TxDescriptor &tx) override;
+    void doAbortCleanup(DpuContext &ctx, TxDescriptor &tx) override;
+
+    size_t readEntryBytes() const override { return 8; }
+    size_t writeEntryBytes() const override { return 16; }
+    size_t lockTableEntryBytes() const override { return 4; }
+
+  private:
+    /**
+     * Acquire the rw-lock at @p index in read mode. No-op when this
+     * tasklet already covers the slot (reader bit set, or write owner).
+     * Aborts on a write lock held by another transaction.
+     */
+    void readLock(DpuContext &ctx, TxDescriptor &tx, u32 index);
+
+    /**
+     * Acquire the rw-lock at @p index in write mode, upgrading a sole
+     * read lock if needed. Aborts on any incompatible state.
+     * @param at_commit selects the abort reason bucket.
+     */
+    void writeLock(DpuContext &ctx, TxDescriptor &tx, u32 index,
+                   bool at_commit);
+
+    /** Release every lock @p tx holds. */
+    void releaseAll(DpuContext &ctx, TxDescriptor &tx);
+
+    /** Buffer (WB) or apply (WT) a write. */
+    void recordWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v,
+                     u32 index);
+
+    bool etl_;
+    bool wb_;
+    std::vector<u32> table_;
+};
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_VR_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Host-side NOrec STM on real threads — the CPU baseline of the
+ * paper's §4.3 study (the authors use NOrec on the CPU side as well).
+ *
+ * This is a genuine concurrent STM: a global sequence lock
+ * (std::atomic), value-based validation, commit-time locking and
+ * write-back, operating on 32-bit words addressed by pointer. Data
+ * accesses go through std::atomic_ref so racing reads during invisible
+ * read attempts are well-defined.
+ */
+
+#ifndef PIMSTM_CPU_NOREC_CPU_HH
+#define PIMSTM_CPU_NOREC_CPU_HH
+
+#include <atomic>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pimstm::cpu
+{
+
+/** Thrown internally to unwind an aborted CPU transaction. */
+struct CpuTxAbort
+{
+};
+
+/** Per-thread transaction context. */
+class CpuTx
+{
+  public:
+    void
+    reset()
+    {
+        read_set.clear();
+        write_set.clear();
+    }
+
+    int
+    findWrite(u32 *addr) const
+    {
+        for (size_t i = 0; i < write_set.size(); ++i)
+            if (write_set[i].addr == addr)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    struct Entry
+    {
+        u32 *addr;
+        u32 value;
+    };
+    std::vector<Entry> read_set;
+    std::vector<Entry> write_set;
+    u64 snapshot = 0;
+    u64 commits = 0;
+    u64 aborts = 0;
+};
+
+/** The global NOrec instance (one per shared-data domain). */
+class CpuNOrec
+{
+  public:
+    /** Begin: wait for an even (free) sequence lock and snapshot it. */
+    void
+    start(CpuTx &tx)
+    {
+        tx.reset();
+        for (;;) {
+            const u64 s = seqlock_.load(std::memory_order_acquire);
+            if ((s & 1) == 0) {
+                tx.snapshot = s;
+                return;
+            }
+            cpuRelax();
+        }
+    }
+
+    u32
+    read(CpuTx &tx, u32 *addr)
+    {
+        const int w = tx.findWrite(addr);
+        if (w >= 0)
+            return tx.write_set[static_cast<size_t>(w)].value;
+
+        u32 v = load(addr);
+        while (seqlock_.load(std::memory_order_acquire) != tx.snapshot) {
+            tx.snapshot = validate(tx);
+            v = load(addr);
+        }
+        tx.read_set.push_back({addr, v});
+        return v;
+    }
+
+    void
+    write(CpuTx &tx, u32 *addr, u32 value)
+    {
+        const int w = tx.findWrite(addr);
+        if (w >= 0) {
+            tx.write_set[static_cast<size_t>(w)].value = value;
+            return;
+        }
+        tx.write_set.push_back({addr, value});
+    }
+
+    /** Commit; throws CpuTxAbort when validation fails. */
+    void
+    commit(CpuTx &tx)
+    {
+        if (tx.write_set.empty()) {
+            ++tx.commits;
+            return;
+        }
+        u64 expected = tx.snapshot;
+        while (!seqlock_.compare_exchange_weak(
+            expected, expected + 1, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+            tx.snapshot = validate(tx);
+            expected = tx.snapshot;
+        }
+        for (const auto &e : tx.write_set)
+            store(e.addr, e.value);
+        seqlock_.store(tx.snapshot + 2, std::memory_order_release);
+        ++tx.commits;
+    }
+
+    u64 seqlock() const { return seqlock_.load(); }
+
+  private:
+    /**
+     * Value-based validation: wait for a free lock, recheck every read
+     * value, confirm no commit raced. Returns the validated snapshot;
+     * throws CpuTxAbort when a read value changed.
+     */
+    u64
+    validate(CpuTx &tx)
+    {
+        for (;;) {
+            const u64 s = seqlock_.load(std::memory_order_acquire);
+            if (s & 1) {
+                cpuRelax();
+                continue;
+            }
+            for (const auto &e : tx.read_set) {
+                if (load(e.addr) != e.value) {
+                    ++tx.aborts;
+                    throw CpuTxAbort{};
+                }
+            }
+            if (seqlock_.load(std::memory_order_acquire) == s)
+                return s;
+        }
+    }
+
+    static u32
+    load(u32 *addr)
+    {
+        return std::atomic_ref<u32>(*addr).load(
+            std::memory_order_relaxed);
+    }
+
+    static void
+    store(u32 *addr, u32 value)
+    {
+        std::atomic_ref<u32>(*addr).store(value,
+                                          std::memory_order_relaxed);
+    }
+
+    static void
+    cpuRelax()
+    {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+    }
+
+    std::atomic<u64> seqlock_{0};
+};
+
+/** Run @p body transactionally, retrying until commit. */
+template <typename Body>
+void
+cpuAtomically(CpuNOrec &stm, CpuTx &tx, Body &&body)
+{
+    for (;;) {
+        stm.start(tx);
+        try {
+            body(tx);
+            stm.commit(tx);
+            return;
+        } catch (const CpuTxAbort &) {
+        }
+    }
+}
+
+} // namespace pimstm::cpu
+
+#endif // PIMSTM_CPU_NOREC_CPU_HH

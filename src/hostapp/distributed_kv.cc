@@ -1,0 +1,184 @@
+#include "hostapp/distributed_kv.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pimstm::hostapp
+{
+
+DistributedKv::DistributedKv(const DistributedKvConfig &cfg)
+    : cfg_(cfg)
+{
+    fatalIf(cfg.shards == 0, "DistributedKv needs at least one shard");
+    fatalIf(cfg.tasklets_per_dpu == 0 || cfg.tasklets_per_dpu > 24,
+            "tasklets_per_dpu must be in [1, 24]");
+
+    shards_.resize(cfg.shards);
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        sim::DpuConfig dpu_cfg;
+        dpu_cfg.mram_bytes = cfg.mram_bytes;
+        dpu_cfg.seed = deriveSeed(cfg.seed, 0x6b76, s);
+
+        auto &shard = shards_[s];
+        shard.dpu = std::make_unique<sim::Dpu>(dpu_cfg, cfg.timing);
+
+        core::StmConfig stm_cfg;
+        stm_cfg.kind = cfg.kind;
+        stm_cfg.metadata_tier = cfg.tier;
+        stm_cfg.num_tasklets = cfg.tasklets_per_dpu;
+        // Probe chains bound the footprint of one operation; at sane
+        // load factors they stay short, so cap the reservation rather
+        // than provisioning for a full-table probe (an overflow would
+        // still fail loudly via the descriptor capacity check).
+        stm_cfg.max_read_set =
+            std::min<u32>(2 * cfg.capacity_per_shard + 8, 256);
+        stm_cfg.max_write_set = 8;
+        stm_cfg.data_words_hint = cfg.capacity_per_shard * 2;
+        shard.stm = core::makeStm(*shard.dpu, stm_cfg);
+
+        shard.map = runtime::TxHashMap(*shard.dpu, sim::Tier::Mram,
+                                       cfg.capacity_per_shard);
+    }
+}
+
+DistributedKv::~DistributedKv() = default;
+
+unsigned
+DistributedKv::shardOf(u32 key) const
+{
+    // Independent of the in-shard slot hash so shards stay balanced.
+    const u32 h = (key ^ 0x9e3779b9u) * 0x85ebca6bu;
+    return (h >> 16) % static_cast<unsigned>(shards_.size());
+}
+
+double
+DistributedKv::runShard(Shard &shard, const std::vector<KvOp> &ops,
+                        const std::vector<size_t> &indices,
+                        std::vector<KvResult> &results)
+{
+    if (indices.empty())
+        return 0.0;
+
+    shard.dpu->resetRun();
+    const u64 commits_before = shard.stm->stats().commits;
+    const u64 aborts_before = shard.stm->stats().aborts;
+
+    const unsigned tasklets = static_cast<unsigned>(
+        std::min<size_t>(cfg_.tasklets_per_dpu, indices.size()));
+
+    // Round-robin slices: tasklet t handles indices[t], [t+T], ...
+    for (unsigned t = 0; t < tasklets; ++t) {
+        shard.dpu->addTasklet([&, t](sim::DpuContext &ctx) {
+            for (size_t i = t; i < indices.size(); i += tasklets) {
+                const KvOp &op = ops[indices[i]];
+                KvResult &res = results[indices[i]];
+                core::atomically(
+                    *shard.stm, ctx, [&](core::TxHandle &tx) {
+                        switch (op.type) {
+                          case KvOp::Type::Put:
+                            res.ok = shard.map.insert(tx, op.key,
+                                                      op.value);
+                            break;
+                          case KvOp::Type::Get:
+                            res.ok = shard.map.lookup(tx, op.key,
+                                                      res.value);
+                            break;
+                          case KvOp::Type::Erase:
+                            res.ok = shard.map.erase(tx, op.key);
+                            break;
+                        }
+                    });
+            }
+        });
+    }
+    shard.dpu->run();
+    shard.commits += shard.stm->stats().commits - commits_before;
+    shard.aborts += shard.stm->stats().aborts - aborts_before;
+    return cfg_.timing.cyclesToSeconds(shard.dpu->stats().total_cycles);
+}
+
+std::vector<KvResult>
+DistributedKv::execute(const std::vector<KvOp> &ops)
+{
+    std::vector<KvResult> results(ops.size());
+    std::vector<std::vector<size_t>> per_shard(shards_.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        fatalIf(!runtime::TxHashMap::validKey(ops[i].key),
+                "invalid key in KV batch");
+        per_shard[shardOf(ops[i].key)].push_back(i);
+    }
+
+    // DPUs run in parallel: the batch takes as long as the slowest
+    // shard, plus CPU-mediated transfers of ops down and results up.
+    double worst = 0.0;
+    for (unsigned s = 0; s < shards_.size(); ++s)
+        worst = std::max(
+            worst, runShard(shards_[s], ops, per_shard[s], results));
+
+    const double bytes = static_cast<double>(ops.size()) * (12 + 8);
+    elapsed_seconds_ += worst +
+                        cfg_.link.launch_overhead_us * 1e-6 +
+                        cfg_.link.copy_base_us * 1e-6 +
+                        bytes / (cfg_.link.host_copy_bandwidth_gbps * 1e9);
+    return results;
+}
+
+bool
+DistributedKv::moveKey(u32 key, u32 new_key)
+{
+    fatalIf(!runtime::TxHashMap::validKey(key) ||
+                !runtime::TxHashMap::validKey(new_key),
+            "invalid key in moveKey");
+    if (key == new_key)
+        return false;
+
+    // CPU-coordinated sequence (§3.1): each step is one DPU-local
+    // transaction; the host serializes the steps. Nothing else runs
+    // between steps, so the relocation is atomic w.r.t. every other
+    // host-issued operation.
+    const auto probe = execute({KvOp::get(key), KvOp::get(new_key)});
+    if (!probe[0].ok || probe[1].ok)
+        return false;
+    const auto commit = execute(
+        {KvOp::erase(key), KvOp::put(new_key, probe[0].value)});
+    panicIf(!commit[0].ok || !commit[1].ok,
+            "moveKey lost a step despite host serialization");
+    return true;
+}
+
+u64
+DistributedKv::totalCommits() const
+{
+    u64 n = 0;
+    for (const auto &s : shards_)
+        n += s.commits;
+    return n;
+}
+
+u64
+DistributedKv::totalAborts() const
+{
+    u64 n = 0;
+    for (const auto &s : shards_)
+        n += s.aborts;
+    return n;
+}
+
+u32
+DistributedKv::population() const
+{
+    u32 n = 0;
+    for (const auto &s : shards_)
+        n += s.map.population(*s.dpu);
+    return n;
+}
+
+bool
+DistributedKv::peek(u32 key, u32 &value_out) const
+{
+    const auto &s = shards_[shardOf(key)];
+    return s.map.peekValue(*s.dpu, key, value_out);
+}
+
+} // namespace pimstm::hostapp

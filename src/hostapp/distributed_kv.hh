@@ -1,0 +1,159 @@
+/**
+ * @file
+ * DistributedKv — the paper's future-work item (§5): a concurrent
+ * key-value store distributed across multiple DPUs so the dataset can
+ * exceed one DPU's 64 MB, built on PIM-STM.
+ *
+ * Design, following the paper's constraints:
+ *  - Keys are hashed to shards; each shard is a TxHashMap in one DPU's
+ *    MRAM. Within a shard, PIM-STM transparently regulates concurrency
+ *    among the tasklets executing that shard's operations.
+ *  - DPUs cannot talk to each other, so the host routes operations:
+ *    execute() groups a batch by shard, runs each involved DPU once
+ *    (its tasklets drain the shard's operation list transactionally)
+ *    and charges the host-link cost model for the op/result transfers
+ *    and the launch overhead.
+ *  - Cross-shard operations (movek: atomically relocate a key) are
+ *    CPU-coordinated and sequential — §3.1: updating data on multiple
+ *    DPUs "can still be achieved, albeit sequentially, by coordinating
+ *    the data manipulation via the CPU". The host serializes them
+ *    against whole-batch execution, which is exactly the consistency
+ *    the paper's design affords (no distributed transactions).
+ */
+
+#ifndef PIMSTM_HOSTAPP_DISTRIBUTED_KV_HH
+#define PIMSTM_HOSTAPP_DISTRIBUTED_KV_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/stm_factory.hh"
+#include "runtime/tx_hashmap.hh"
+#include "sim/config.hh"
+#include "sim/dpu.hh"
+
+namespace pimstm::hostapp
+{
+
+/** A host-issued KV operation. */
+struct KvOp
+{
+    enum class Type : u8
+    {
+        Put,
+        Get,
+        Erase,
+    };
+    Type type = Type::Get;
+    u32 key = 0;
+    u32 value = 0;
+
+    static KvOp
+    put(u32 key, u32 value)
+    {
+        return {Type::Put, key, value};
+    }
+
+    static KvOp
+    get(u32 key)
+    {
+        return {Type::Get, key, 0};
+    }
+
+    static KvOp
+    erase(u32 key)
+    {
+        return {Type::Erase, key, 0};
+    }
+};
+
+/** Result of one KV operation. */
+struct KvResult
+{
+    bool ok = false; ///< found / inserted / erased
+    u32 value = 0;   ///< Get only
+};
+
+struct DistributedKvConfig
+{
+    unsigned shards = 4;
+    u32 capacity_per_shard = 4096;
+    core::StmKind kind = core::StmKind::NOrec;
+    core::MetadataTier tier = core::MetadataTier::Wram;
+    unsigned tasklets_per_dpu = 11;
+    size_t mram_bytes = 4 * 1024 * 1024;
+    u64 seed = 1;
+    sim::TimingConfig timing{};
+    sim::HostLinkConfig link{};
+};
+
+/** A KV store sharded over several simulated DPUs. */
+class DistributedKv
+{
+  public:
+    explicit DistributedKv(const DistributedKvConfig &cfg);
+    ~DistributedKv();
+
+    DistributedKv(const DistributedKv &) = delete;
+    DistributedKv &operator=(const DistributedKv &) = delete;
+
+    /** Shard a key belongs to. */
+    unsigned shardOf(u32 key) const;
+
+    /**
+     * Execute a batch of operations. Operations on different shards
+     * run on their DPUs in parallel (modelled); operations on the same
+     * shard run concurrently across that DPU's tasklets, isolated by
+     * the STM. Results are positionally aligned with @p ops.
+     */
+    std::vector<KvResult> execute(const std::vector<KvOp> &ops);
+
+    /**
+     * Atomically relocate @p key to @p new_key (which may live on a
+     * different shard), CPU-coordinated: erase on the source shard,
+     * insert on the destination. Returns false (and changes nothing)
+     * when @p key is absent or @p new_key already exists.
+     */
+    bool moveKey(u32 key, u32 new_key);
+
+    /** Total simulated+modelled time spent so far (seconds). */
+    double elapsedSeconds() const { return elapsed_seconds_; }
+
+    /** Committed transactions across all shards so far. */
+    u64 totalCommits() const;
+    u64 totalAborts() const;
+
+    /** Host-side exact population (verification). */
+    u32 population() const;
+
+    /** Host-side lookup without timing (verification). */
+    bool peek(u32 key, u32 &value_out) const;
+
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<sim::Dpu> dpu;
+        std::unique_ptr<core::Stm> stm;
+        runtime::TxHashMap map;
+        u64 commits = 0;
+        u64 aborts = 0;
+    };
+
+    /** Run @p shard's DPU over its pending slice of @p ops. */
+    double runShard(Shard &shard, const std::vector<KvOp> &ops,
+                    const std::vector<size_t> &indices,
+                    std::vector<KvResult> &results);
+
+    DistributedKvConfig cfg_;
+    std::vector<Shard> shards_;
+    double elapsed_seconds_ = 0;
+};
+
+} // namespace pimstm::hostapp
+
+#endif // PIMSTM_HOSTAPP_DISTRIBUTED_KV_HH

@@ -1,0 +1,145 @@
+#include "hostapp/multi_dpu.hh"
+
+#include <chrono>
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "util/logging.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/labyrinth.hh"
+
+namespace pimstm::hostapp
+{
+
+namespace
+{
+
+/** Measure the host-side per-round centroid merge for D DPUs: the CPU
+ * folds D partial (sums, counts) blocks into global centroids. */
+double
+measureMergeSeconds(unsigned dpus, u32 clusters, u32 dims, u32 rounds)
+{
+    const size_t block = static_cast<size_t>(clusters) * (dims + 1);
+    std::vector<float> partials(block * std::min(dpus, 64u), 1.0f);
+    std::vector<float> merged(block, 0.0f);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Walk a bounded buffer repeatedly to model D blocks without
+    // allocating 2500 of them; the arithmetic count is exact.
+    for (unsigned d = 0; d < dpus; ++d) {
+        const float *src =
+            partials.data() + block * (d % std::min(dpus, 64u));
+        for (size_t i = 0; i < block; ++i)
+            merged[i] += src[i];
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() * rounds;
+}
+
+} // namespace
+
+MultiDpuTime
+runKMeansMultiDpu(unsigned dpus, const MultiKMeansParams &params,
+                  const sim::HostLinkConfig &link)
+{
+    fatalIf(dpus == 0, "need at least one DPU");
+    const unsigned sample = std::min(params.sample_dpus, dpus);
+
+    // Per-DPU compute: simulate `sample` DPUs with distinct seeds (the
+    // shards are statistically identical; the max over the sample is
+    // the modelled critical path).
+    sim::TimingConfig timing;
+    double worst = 0;
+    for (unsigned d = 0; d < sample; ++d) {
+        workloads::KMeansParams kp;
+        kp.clusters = params.clusters;
+        kp.dims = params.dims;
+        kp.rounds = params.rounds;
+        kp.max_tasklets = 24;
+        kp.points_per_tasklet = std::max<u32>(1, params.points_per_dpu / 24);
+        workloads::KMeans wl(kp);
+
+        runtime::RunSpec spec;
+        spec.kind = core::StmKind::NOrec; // §4.3.1: NOrec on the DPU
+        spec.tier = params.tier;
+        spec.tasklets = params.tasklets;
+        spec.seed = deriveSeed(params.seed, 0xd1d1, d);
+        spec.mram_bytes = 16 * 1024 * 1024;
+        spec.timing = timing;
+        const auto r = runWorkload(wl, spec);
+        worst = std::max(worst, r.seconds);
+    }
+
+    MultiDpuTime t;
+    t.dpus = dpus;
+    t.compute_seconds = worst;
+
+    // Per round: centroids broadcast down, partial sums gathered up.
+    const size_t down_bytes =
+        static_cast<size_t>(params.clusters) * params.dims * 4;
+    const size_t up_bytes =
+        static_cast<size_t>(params.clusters) * (params.dims + 1) * 4;
+    const double total_bytes =
+        static_cast<double>(down_bytes + up_bytes) * dpus * params.rounds;
+    t.transfer_seconds =
+        params.rounds * 2 * link.copy_base_us * 1e-6 +
+        total_bytes / (link.host_copy_bandwidth_gbps * 1e9);
+
+    // Input point distribution (once).
+    const double input_bytes = static_cast<double>(params.points_per_dpu) *
+                               params.dims * 4 * dpus;
+    t.transfer_seconds +=
+        input_bytes / (link.host_copy_bandwidth_gbps * 1e9);
+
+    t.merge_seconds = measureMergeSeconds(dpus, params.clusters,
+                                          params.dims, params.rounds);
+    t.launch_seconds = params.rounds * link.launch_overhead_us * 1e-6;
+    return t;
+}
+
+MultiDpuTime
+runLabyrinthMultiDpu(unsigned dpus, const MultiLabyrinthParams &params,
+                     const sim::HostLinkConfig &link)
+{
+    fatalIf(dpus == 0, "need at least one DPU");
+    const unsigned sample = std::min(params.sample_dpus, dpus);
+
+    sim::TimingConfig timing;
+    double worst = 0;
+    for (unsigned d = 0; d < sample; ++d) {
+        workloads::LabyrinthParams lp;
+        lp.x = params.x;
+        lp.y = params.y;
+        lp.z = params.z;
+        lp.num_paths = params.num_paths;
+        workloads::Labyrinth wl(lp);
+
+        runtime::RunSpec spec;
+        spec.kind = core::StmKind::NOrec;
+        spec.tier = core::MetadataTier::Mram; // WRAM infeasible (§4.3.1)
+        spec.tasklets = params.tasklets;
+        spec.seed = deriveSeed(params.seed, 0x1abcafe, d);
+        spec.mram_bytes = 64 * 1024 * 1024;
+        spec.timing = timing;
+        const auto r = runWorkload(wl, spec);
+        worst = std::max(worst, r.seconds);
+    }
+
+    MultiDpuTime t;
+    t.dpus = dpus;
+    t.compute_seconds = worst;
+
+    // Problem input down (endpoint list) and solved grid back up.
+    const size_t grid_bytes =
+        static_cast<size_t>(params.x) * params.y * params.z * 4;
+    const size_t job_bytes = static_cast<size_t>(params.num_paths) * 8;
+    const double total_bytes =
+        static_cast<double>(grid_bytes + job_bytes) * dpus;
+    t.transfer_seconds =
+        2 * link.copy_base_us * 1e-6 +
+        total_bytes / (link.host_copy_bandwidth_gbps * 1e9);
+    t.launch_seconds = link.launch_overhead_us * 1e-6;
+    return t;
+}
+
+} // namespace pimstm::hostapp

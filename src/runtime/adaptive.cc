@@ -1,0 +1,72 @@
+#include "runtime/adaptive.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace pimstm::runtime
+{
+
+namespace
+{
+
+std::string
+candidateName(core::StmKind kind, core::MetadataTier tier)
+{
+    std::string s = core::stmKindName(kind);
+    s += tier == core::MetadataTier::Wram ? " (WRAM)" : " (MRAM)";
+    return s;
+}
+
+} // namespace
+
+AdaptiveResult
+adaptiveRun(const AdaptiveFactory &factory, const RunSpec &spec,
+            const AdaptiveOptions &options)
+{
+    const std::vector<core::StmKind> &candidates =
+        options.candidates.empty() ? core::allStmKinds()
+                                   : options.candidates;
+    std::vector<core::MetadataTier> tiers{spec.tier};
+    if (options.probe_both_tiers) {
+        tiers = {core::MetadataTier::Mram, core::MetadataTier::Wram};
+    }
+
+    AdaptiveResult result;
+    double best = -1.0;
+    bool any = false;
+
+    for (const core::MetadataTier tier : tiers) {
+        for (const core::StmKind kind : candidates) {
+            RunSpec probe_spec = spec;
+            probe_spec.kind = kind;
+            probe_spec.tier = tier;
+            auto wl = factory(/*probe=*/true);
+            try {
+                const RunResult r = runWorkload(*wl, probe_spec);
+                result.probe_seconds += r.seconds;
+                result.probe_throughput[candidateName(kind, tier)] =
+                    r.throughput;
+                if (r.throughput > best) {
+                    best = r.throughput;
+                    result.chosen_kind = kind;
+                    result.chosen_tier = tier;
+                    any = true;
+                }
+            } catch (const FatalError &) {
+                // Not runnable in this configuration (e.g. WRAM
+                // metadata that does not fit) — skip, like the paper.
+            }
+        }
+    }
+    fatalIf(!any, "no STM candidate was runnable for this workload");
+
+    RunSpec final_spec = spec;
+    final_spec.kind = result.chosen_kind;
+    final_spec.tier = result.chosen_tier;
+    auto wl = factory(/*probe=*/false);
+    result.final = runWorkload(*wl, final_spec);
+    return result;
+}
+
+} // namespace pimstm::runtime

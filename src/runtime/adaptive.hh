@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Adaptive STM selection — the natural consequence of the paper's
+ * central finding that *no one-size-fits-all STM exists* (§4.2.2) and
+ * of its own pointer to ProteusTM [13]: since PIM-STM lets an
+ * application switch implementations "via trivial configuration
+ * changes", a thin selector can probe the taxonomy on a shortened
+ * version of the workload and run the real job under the winner.
+ *
+ * The probe phase runs each candidate on a small replica of the
+ * workload (same seed, same tasklet count) and ranks candidates by
+ * committed throughput; infeasible configurations (WRAM metadata that
+ * does not fit) are skipped exactly like the paper's "not runnable"
+ * cases. The measured probe cost is reported so callers can reason
+ * about amortization.
+ */
+
+#ifndef PIMSTM_RUNTIME_ADAPTIVE_HH
+#define PIMSTM_RUNTIME_ADAPTIVE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/driver.hh"
+
+namespace pimstm::runtime
+{
+
+/** Factory producing a workload instance; @p probe selects the
+ * shortened probe replica vs the full job. */
+using AdaptiveFactory =
+    std::function<std::unique_ptr<Workload>(bool probe)>;
+
+struct AdaptiveOptions
+{
+    /** Candidate set (defaults to the full taxonomy when empty). */
+    std::vector<core::StmKind> candidates;
+    /** Probe both tiers too? Otherwise only spec.tier is probed. */
+    bool probe_both_tiers = false;
+};
+
+struct AdaptiveResult
+{
+    core::StmKind chosen_kind = core::StmKind::NOrec;
+    core::MetadataTier chosen_tier = core::MetadataTier::Mram;
+
+    /** Probe throughput per candidate (missing = not runnable). */
+    std::map<std::string, double> probe_throughput;
+
+    /** Simulated seconds spent probing (amortization cost). */
+    double probe_seconds = 0;
+
+    /** Result of the full run under the chosen configuration. */
+    RunResult final;
+};
+
+/**
+ * Probe the candidates on the shortened workload, pick the best, and
+ * run the full workload under it.
+ */
+AdaptiveResult adaptiveRun(const AdaptiveFactory &factory,
+                           const RunSpec &spec,
+                           const AdaptiveOptions &options = {});
+
+} // namespace pimstm::runtime
+
+#endif // PIMSTM_RUNTIME_ADAPTIVE_HH

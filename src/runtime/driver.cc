@@ -1,0 +1,73 @@
+#include "runtime/driver.hh"
+
+#include "util/logging.hh"
+
+namespace pimstm::runtime
+{
+
+RunResult
+runWorkload(Workload &workload, const RunSpec &spec)
+{
+    fatalIf(spec.tasklets == 0 || spec.tasklets > 24,
+            "tasklet count must be in [1, 24]");
+
+    sim::DpuConfig dpu_cfg;
+    dpu_cfg.mram_bytes = spec.mram_bytes;
+    dpu_cfg.seed = spec.seed;
+    if (spec.atomic_bits_override)
+        dpu_cfg.atomic_bits = spec.atomic_bits_override;
+
+    sim::Dpu dpu(dpu_cfg, spec.timing);
+
+    core::StmConfig stm_cfg;
+    stm_cfg.kind = spec.kind;
+    stm_cfg.metadata_tier = spec.tier;
+    stm_cfg.num_tasklets = spec.tasklets;
+    workload.configure(stm_cfg);
+    if (spec.lock_table_entries_override)
+        stm_cfg.lock_table_entries_override = spec.lock_table_entries_override;
+    if (spec.norec_start_wait_override >= 0)
+        stm_cfg.norec_start_wait = spec.norec_start_wait_override != 0;
+    if (spec.cm_wait_polls_override >= 0)
+        stm_cfg.cm_wait_polls =
+            static_cast<unsigned>(spec.cm_wait_polls_override);
+
+    // May throw FatalError when the placement is infeasible — that is
+    // the paper's "cannot run with WRAM metadata" case.
+    auto stm = core::makeStm(dpu, stm_cfg);
+
+    workload.setup(dpu, *stm);
+
+    core::Stm *stm_ptr = stm.get();
+    Workload *wl = &workload;
+    dpu.addTasklets(spec.tasklets, [wl, stm_ptr](sim::DpuContext &ctx) {
+        wl->tasklet(ctx, *stm_ptr);
+    });
+
+    dpu.run();
+    workload.verify(dpu, *stm);
+
+    RunResult r;
+    r.stm = stm->stats();
+    r.dpu = dpu.stats();
+    r.seconds = spec.timing.cyclesToSeconds(dpu.stats().total_cycles);
+    r.throughput =
+        r.seconds > 0 ? static_cast<double>(r.stm.commits) / r.seconds : 0;
+    r.app_ops_per_sec =
+        r.seconds > 0 ? static_cast<double>(workload.appOps()) / r.seconds
+                      : 0;
+    r.abort_rate = r.stm.abortRate();
+    r.extra = workload.extraMetrics();
+
+    const auto busy = dpu.stats().busyCycles();
+    if (busy > 0) {
+        for (size_t p = 0; p < sim::kNumPhases; ++p) {
+            r.phase_share[p] =
+                static_cast<double>(dpu.stats().phase_cycles[p]) /
+                static_cast<double>(busy);
+        }
+    }
+    return r;
+}
+
+} // namespace pimstm::runtime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The workload driver: runs one benchmark configuration (workload x STM
+ * kind x metadata tier x tasklet count x seed) on a fresh simulated DPU
+ * and returns everything the paper's plots need — throughput, abort
+ * rate, time breakdown and workload-specific metrics.
+ */
+
+#ifndef PIMSTM_RUNTIME_DRIVER_HH
+#define PIMSTM_RUNTIME_DRIVER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/stm_factory.hh"
+#include "sim/dpu.hh"
+
+namespace pimstm::runtime
+{
+
+/**
+ * Interface every benchmark implements. A Workload instance describes
+ * one problem instance; the driver owns the DPU and STM lifecycles.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Display name, e.g. "ArrayBench A". */
+    virtual const char *name() const = 0;
+
+    /** Fill in workload-specific STM requirements (set capacities,
+     * data-size hint). Called before the STM is constructed. */
+    virtual void configure(core::StmConfig &cfg) const = 0;
+
+    /** Allocate and initialize shared state in simulated memory. */
+    virtual void setup(sim::Dpu &dpu, core::Stm &stm) = 0;
+
+    /** Body executed by each tasklet. */
+    virtual void tasklet(sim::DpuContext &ctx, core::Stm &stm) = 0;
+
+    /** Check invariants after the run; throw on violation. */
+    virtual void verify(sim::Dpu &dpu, core::Stm &stm) = 0;
+
+    /** Application-level operations completed (workload-defined). */
+    virtual u64 appOps() const { return 0; }
+
+    /** Extra metrics to surface in results. */
+    virtual std::map<std::string, double>
+    extraMetrics() const
+    {
+        return {};
+    }
+};
+
+/** One run configuration. */
+struct RunSpec
+{
+    core::StmKind kind = core::StmKind::NOrec;
+    core::MetadataTier tier = core::MetadataTier::Mram;
+    unsigned tasklets = 1;
+    u64 seed = 1;
+
+    /** MRAM size for the simulated DPU (shrinkable for big sweeps). */
+    size_t mram_bytes = 64 * 1024 * 1024;
+
+    sim::TimingConfig timing{};
+
+    /** Overrides applied to the workload-configured StmConfig
+     * (0 = keep workload/default value). */
+    u32 lock_table_entries_override = 0;
+    int norec_start_wait_override = -1; // -1 keep, 0 off, 1 on
+    unsigned atomic_bits_override = 0;  // 0 keep hardware 256
+    /** Wait-on-contention polls (-1 keep workload/default). */
+    int cm_wait_polls_override = -1;
+};
+
+/** Result of one run. */
+struct RunResult
+{
+    core::StmStats stm;
+    sim::DpuStats dpu;
+
+    /** Simulated wall-clock of the run, seconds. */
+    double seconds = 0.0;
+
+    /** Committed transactions per second (the paper's main metric). */
+    double throughput = 0.0;
+
+    /** Workload-defined operations per second. */
+    double app_ops_per_sec = 0.0;
+
+    double abort_rate = 0.0;
+
+    std::map<std::string, double> extra;
+
+    /** Share of busy cycles per phase, in sim::Phase order. */
+    std::array<double, sim::kNumPhases> phase_share{};
+};
+
+/**
+ * Run @p workload under @p spec. Throws FatalError when the
+ * configuration is infeasible (e.g. WRAM metadata that does not fit) —
+ * sweep harnesses catch this to mark the point "not runnable".
+ */
+RunResult runWorkload(Workload &workload, const RunSpec &spec);
+
+} // namespace pimstm::runtime
+
+#endif // PIMSTM_RUNTIME_DRIVER_HH

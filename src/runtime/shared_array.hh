@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Typed views over simulated DPU memory: a thin address-arithmetic
+ * wrapper so workloads can allocate arrays/structs in MRAM or WRAM and
+ * address elements without sprinkling byte offsets everywhere.
+ */
+
+#ifndef PIMSTM_RUNTIME_SHARED_ARRAY_HH
+#define PIMSTM_RUNTIME_SHARED_ARRAY_HH
+
+#include "sim/dpu.hh"
+#include "util/logging.hh"
+
+namespace pimstm::runtime
+{
+
+using sim::Addr;
+using sim::Tier;
+
+/** A contiguous array of 32-bit words in simulated memory. */
+class SharedArray32
+{
+  public:
+    SharedArray32() = default;
+
+    /** Allocate @p count words in @p tier of @p dpu. */
+    SharedArray32(sim::Dpu &dpu, Tier tier, size_t count)
+        : tier_(tier), count_(count)
+    {
+        base_ = sim::makeAddr(tier, dpu.memory(tier).alloc(count * 4, 8));
+    }
+
+    /** Address of element @p i. */
+    Addr
+    at(size_t i) const
+    {
+        panicIf(i >= count_, "SharedArray32 index ", i, " out of range ",
+                count_);
+        return base_ + static_cast<Addr>(i * 4);
+    }
+
+    Addr operator[](size_t i) const { return at(i); }
+
+    size_t size() const { return count_; }
+    Addr base() const { return base_; }
+    Tier tier() const { return tier_; }
+
+    /** Untimed bulk initialization (host-side setup, before launch). */
+    void
+    fill(sim::Dpu &dpu, u32 value) const
+    {
+        auto &mem = dpu.memory(tier_);
+        for (size_t i = 0; i < count_; ++i)
+            mem.write32(sim::addrOffset(base_) + static_cast<u32>(i * 4),
+                        value);
+    }
+
+    /** Untimed host-side peek (setup / verification only). */
+    u32
+    peek(sim::Dpu &dpu, size_t i) const
+    {
+        return dpu.memory(tier_).read32(sim::addrOffset(at(i)));
+    }
+
+    /** Untimed host-side poke (setup only). */
+    void
+    poke(sim::Dpu &dpu, size_t i, u32 v) const
+    {
+        dpu.memory(tier_).write32(sim::addrOffset(at(i)), v);
+    }
+
+  private:
+    Addr base_ = 0;
+    Tier tier_ = Tier::Mram;
+    size_t count_ = 0;
+};
+
+} // namespace pimstm::runtime
+
+#endif // PIMSTM_RUNTIME_SHARED_ARRAY_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A concurrent open-addressing hash map built on the PIM-STM API —
+ * the concurrent-data-structure layer the paper's conclusion proposes
+ * building on top of PIM-STM. One instance lives in a single DPU's
+ * MRAM (transactions are DPU-local by design); the distributed variant
+ * in hostapp/distributed_kv.hh shards instances across DPUs.
+ *
+ * Slots are (key, value) word pairs with linear probing; erased slots
+ * become tombstones so probe chains stay intact. All three operations
+ * are usable either standalone (own transaction) or compositionally
+ * within an enclosing transaction — the composability argument for TM
+ * over locks (§1).
+ */
+
+#ifndef PIMSTM_RUNTIME_TX_HASHMAP_HH
+#define PIMSTM_RUNTIME_TX_HASHMAP_HH
+
+#include "core/stm.hh"
+#include "runtime/shared_array.hh"
+
+namespace pimstm::runtime
+{
+
+/** Transactional open-addressing hash map over one DPU's memory. */
+class TxHashMap
+{
+  public:
+    static constexpr u32 kEmpty = 0xffffffffu;
+    static constexpr u32 kTombstone = 0xfffffffeu;
+
+    TxHashMap() = default;
+
+    /** Allocate a map of @p capacity slots (power of two) in @p tier. */
+    TxHashMap(sim::Dpu &dpu, Tier tier, u32 capacity)
+        : capacity_(capacity),
+          keys_(dpu, tier, capacity),
+          values_(dpu, tier, capacity)
+    {
+        fatalIf(!isPow2(capacity),
+                "TxHashMap capacity must be a power of two");
+        keys_.fill(dpu, kEmpty);
+        values_.fill(dpu, 0);
+    }
+
+    u32 capacity() const { return capacity_; }
+
+    /** Keys may not collide with the slot markers. */
+    static bool
+    validKey(u32 key)
+    {
+        return key != kEmpty && key != kTombstone;
+    }
+
+    /** Insert or update inside @p tx; false when the table is full. */
+    bool
+    insert(core::TxHandle &tx, u32 key, u32 value)
+    {
+        panicIf(!validKey(key), "invalid TxHashMap key");
+        u32 slot = hash(key);
+        int first_tombstone = -1;
+        for (u32 probe = 0; probe < capacity_; ++probe) {
+            const u32 k = tx.read(keys_.at(slot));
+            if (k == key) {
+                tx.write(values_.at(slot), value);
+                return true;
+            }
+            if (k == kTombstone && first_tombstone < 0) {
+                first_tombstone = static_cast<int>(slot);
+            } else if (k == kEmpty) {
+                const u32 target = first_tombstone >= 0
+                    ? static_cast<u32>(first_tombstone)
+                    : slot;
+                tx.write(keys_.at(target), key);
+                tx.write(values_.at(target), value);
+                return true;
+            }
+            slot = (slot + 1) & (capacity_ - 1);
+        }
+        if (first_tombstone >= 0) {
+            tx.write(keys_.at(static_cast<u32>(first_tombstone)), key);
+            tx.write(values_.at(static_cast<u32>(first_tombstone)),
+                     value);
+            return true;
+        }
+        return false;
+    }
+
+    /** Lookup inside @p tx; false when absent. */
+    bool
+    lookup(core::TxHandle &tx, u32 key, u32 &value_out)
+    {
+        u32 slot = hash(key);
+        for (u32 probe = 0; probe < capacity_; ++probe) {
+            const u32 k = tx.read(keys_.at(slot));
+            if (k == key) {
+                value_out = tx.read(values_.at(slot));
+                return true;
+            }
+            if (k == kEmpty)
+                return false;
+            slot = (slot + 1) & (capacity_ - 1);
+        }
+        return false;
+    }
+
+    /** Erase inside @p tx; false when absent. */
+    bool
+    erase(core::TxHandle &tx, u32 key)
+    {
+        u32 slot = hash(key);
+        for (u32 probe = 0; probe < capacity_; ++probe) {
+            const u32 k = tx.read(keys_.at(slot));
+            if (k == key) {
+                tx.write(keys_.at(slot), kTombstone);
+                return true;
+            }
+            if (k == kEmpty)
+                return false;
+            slot = (slot + 1) & (capacity_ - 1);
+        }
+        return false;
+    }
+
+    /** Untimed host-side population count (verification). */
+    u32
+    population(sim::Dpu &dpu) const
+    {
+        u32 n = 0;
+        for (u32 i = 0; i < capacity_; ++i)
+            if (validKey(keys_.peek(dpu, i)))
+                ++n;
+        return n;
+    }
+
+    /** Untimed host-side lookup (verification). */
+    bool
+    peekValue(sim::Dpu &dpu, u32 key, u32 &value_out) const
+    {
+        u32 slot = hash(key);
+        for (u32 probe = 0; probe < capacity_; ++probe) {
+            const u32 k = keys_.peek(dpu, slot);
+            if (k == key) {
+                value_out = values_.peek(dpu, slot);
+                return true;
+            }
+            if (k == kEmpty)
+                return false;
+            slot = (slot + 1) & (capacity_ - 1);
+        }
+        return false;
+    }
+
+  private:
+    u32
+    hash(u32 key) const
+    {
+        return (key * 2654435761u) & (capacity_ - 1);
+    }
+
+    u32 capacity_ = 0;
+    SharedArray32 keys_;
+    SharedArray32 values_;
+};
+
+} // namespace pimstm::runtime
+
+#endif // PIMSTM_RUNTIME_TX_HASHMAP_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulated address representation.
+ *
+ * The DPU is a 32-bit architecture with two data tiers: MRAM (64 MB) and
+ * WRAM (64 KB). A simulated address is a 32-bit value whose top bit
+ * selects the tier and whose remaining bits are the byte offset within
+ * that tier. The STM operates on 32-bit words at 4-byte-aligned
+ * addresses, mirroring the word-based designs the paper ports.
+ */
+
+#ifndef PIMSTM_SIM_ADDR_HH
+#define PIMSTM_SIM_ADDR_HH
+
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+/** A simulated DPU address (tier tag in bit 31, offset below). */
+using Addr = u32;
+
+/** Memory tier selector. */
+enum class Tier : u8
+{
+    Mram = 0,
+    Wram = 1,
+};
+
+constexpr Addr kTierBit = 0x80000000u;
+constexpr Addr kOffsetMask = 0x7fffffffu;
+
+/** Build an address from a tier and byte offset. */
+constexpr Addr
+makeAddr(Tier tier, u32 offset)
+{
+    return (tier == Tier::Wram ? kTierBit : 0u) | (offset & kOffsetMask);
+}
+
+/** Tier of an address. */
+constexpr Tier
+addrTier(Addr a)
+{
+    return (a & kTierBit) ? Tier::Wram : Tier::Mram;
+}
+
+/** Byte offset of an address within its tier. */
+constexpr u32
+addrOffset(Addr a)
+{
+    return a & kOffsetMask;
+}
+
+/** Human-readable tier name. */
+constexpr const char *
+tierName(Tier t)
+{
+    return t == Tier::Wram ? "WRAM" : "MRAM";
+}
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_ADDR_HH

@@ -1,0 +1,473 @@
+#include "sim/dpu.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pimstm::sim
+{
+
+//
+// DpuContext
+//
+
+DpuContext::DpuContext(Dpu &dpu, unsigned id, u64 seed)
+    : dpu_(dpu), id_(id), rng_(seed)
+{}
+
+unsigned
+DpuContext::numTasklets() const
+{
+    return dpu_.numTasklets();
+}
+
+Cycles
+DpuContext::now() const
+{
+    return dpu_.now();
+}
+
+void
+DpuContext::charge(Phase p, Cycles c)
+{
+    if (in_tx_)
+        tx_acc_[static_cast<size_t>(p)] += c;
+    else
+        dpu_.stats_.phase_cycles[static_cast<size_t>(p)] += c;
+}
+
+void
+DpuContext::txAccountingBegin()
+{
+    panicIf(in_tx_, "nested txAccountingBegin");
+    tx_acc_.fill(0);
+    in_tx_ = true;
+}
+
+void
+DpuContext::txAccountingCommit()
+{
+    panicIf(!in_tx_, "txAccountingCommit outside tx");
+    for (size_t p = 0; p < kNumPhases; ++p)
+        dpu_.stats_.phase_cycles[p] += tx_acc_[p];
+    tx_acc_.fill(0);
+    in_tx_ = false;
+}
+
+void
+DpuContext::txAccountingAbort()
+{
+    panicIf(!in_tx_, "txAccountingAbort outside tx");
+    Cycles total = 0;
+    for (Cycles c : tx_acc_)
+        total += c;
+    dpu_.stats_.phase_cycles[static_cast<size_t>(Phase::Wasted)] += total;
+    tx_acc_.fill(0);
+    in_tx_ = false;
+}
+
+void
+DpuContext::compute(u64 instrs)
+{
+    if (instrs == 0)
+        return;
+    const Cycles cost = dpu_.instrCost(instrs);
+    dpu_.stats_.instructions += instrs;
+    charge(phase_, cost);
+    dpu_.consume(id_, cost, phase_);
+}
+
+u32
+DpuContext::read32(Addr a)
+{
+    panicIf(addrOffset(a) % 4 != 0, "misaligned read32 at ", a);
+    touchRead(addrTier(a), 4);
+    return dpu_.memory(addrTier(a)).read32(addrOffset(a));
+}
+
+void
+DpuContext::write32(Addr a, u32 v)
+{
+    panicIf(addrOffset(a) % 4 != 0, "misaligned write32 at ", a);
+    touchWrite(addrTier(a), 4);
+    dpu_.memory(addrTier(a)).write32(addrOffset(a), v);
+}
+
+u64
+DpuContext::read64(Addr a)
+{
+    panicIf(addrOffset(a) % 8 != 0, "misaligned read64 at ", a);
+    touchRead(addrTier(a), 8);
+    return dpu_.memory(addrTier(a)).read64(addrOffset(a));
+}
+
+void
+DpuContext::write64(Addr a, u64 v)
+{
+    panicIf(addrOffset(a) % 8 != 0, "misaligned write64 at ", a);
+    touchWrite(addrTier(a), 8);
+    dpu_.memory(addrTier(a)).write64(addrOffset(a), v);
+}
+
+void
+DpuContext::readBlock(Addr a, void *dst, size_t n)
+{
+    touchRead(addrTier(a), n);
+    dpu_.memory(addrTier(a)).readBlock(addrOffset(a), dst, n);
+}
+
+void
+DpuContext::writeBlock(Addr a, const void *src, size_t n)
+{
+    touchWrite(addrTier(a), n);
+    dpu_.memory(addrTier(a)).writeBlock(addrOffset(a), src, n);
+}
+
+void
+DpuContext::touchRead(Tier tier, size_t bytes)
+{
+    if (tier == Tier::Wram) {
+        const u64 instrs =
+            dpu_.timing_.wram_access_instrs * divCeil(bytes, 8);
+        ++dpu_.stats_.wram_accesses;
+        compute(instrs);
+    } else {
+        const Cycles done = dpu_.mramAccess(id_, bytes, false);
+        const Cycles cost = done - dpu_.now_;
+        charge(phase_, cost);
+        dpu_.consume(id_, cost, phase_);
+    }
+}
+
+void
+DpuContext::touchWrite(Tier tier, size_t bytes)
+{
+    if (tier == Tier::Wram) {
+        const u64 instrs =
+            dpu_.timing_.wram_access_instrs * divCeil(bytes, 8);
+        ++dpu_.stats_.wram_accesses;
+        compute(instrs);
+    } else {
+        const Cycles done = dpu_.mramAccess(id_, bytes, true);
+        const Cycles cost = done - dpu_.now_;
+        charge(phase_, cost);
+        dpu_.consume(id_, cost, phase_);
+    }
+}
+
+void
+DpuContext::touchRandom(Tier tier, u64 count, size_t bytes_each,
+                        bool is_write)
+{
+    if (count == 0)
+        return;
+    if (tier == Tier::Wram) {
+        dpu_.stats_.wram_accesses += count;
+        compute(count * dpu_.timing_.wram_access_instrs);
+        return;
+    }
+    const Cycles done =
+        dpu_.mramRandomAccess(id_, count, bytes_each, is_write);
+    const Cycles cost = done - dpu_.now_;
+    charge(phase_, cost);
+    dpu_.consume(id_, cost, phase_);
+}
+
+void
+DpuContext::acquire(u32 key)
+{
+    const unsigned bit = dpu_.atomic_reg_.bitFor(key);
+    for (;;) {
+        compute(dpu_.timing_.atomic_op_instrs);
+        if (dpu_.atomic_reg_.tryAcquire(bit, id_)) {
+            ++dpu_.stats_.atomic_acquires;
+            return;
+        }
+        ++dpu_.stats_.atomic_stalls;
+        auto &t = dpu_.tasklets_[id_];
+        t.state = Dpu::TaskletState::BlockedAtomic;
+        t.waiting_bit = bit;
+        t.blocked_since = dpu_.now_;
+        dpu_.suspend(id_);
+    }
+}
+
+bool
+DpuContext::tryAcquire(u32 key)
+{
+    const unsigned bit = dpu_.atomic_reg_.bitFor(key);
+    compute(dpu_.timing_.atomic_op_instrs);
+    if (dpu_.atomic_reg_.tryAcquire(bit, id_)) {
+        ++dpu_.stats_.atomic_acquires;
+        return true;
+    }
+    return false;
+}
+
+void
+DpuContext::release(u32 key)
+{
+    const unsigned bit = dpu_.atomic_reg_.bitFor(key);
+    compute(dpu_.timing_.atomic_op_instrs);
+    dpu_.atomic_reg_.release(bit, id_);
+    dpu_.wakeAtomicWaiters(bit);
+}
+
+void
+DpuContext::barrier()
+{
+    compute(1);
+    auto &t = dpu_.tasklets_[id_];
+    const u64 my_generation = dpu_.barrier_generation_;
+    ++dpu_.barrier_count_;
+    t.state = Dpu::TaskletState::BlockedBarrier;
+    dpu_.maybeReleaseBarrier();
+    while (dpu_.barrier_generation_ == my_generation &&
+           t.state == Dpu::TaskletState::BlockedBarrier) {
+        dpu_.suspend(id_);
+    }
+}
+
+void
+DpuContext::yield()
+{
+    auto &t = dpu_.tasklets_[id_];
+    t.ready_at = dpu_.now_ + 1;
+    dpu_.suspend(id_);
+}
+
+void
+DpuContext::delay(Cycles cycles)
+{
+    charge(phase_, cycles);
+    dpu_.consume(id_, cycles, phase_);
+}
+
+//
+// Dpu
+//
+
+Dpu::Dpu(const DpuConfig &cfg, const TimingConfig &timing)
+    : cfg_(cfg), timing_(timing),
+      wram_(Tier::Wram, cfg.wram_bytes),
+      mram_(Tier::Mram, cfg.mram_bytes),
+      atomic_reg_(cfg.atomic_bits)
+{}
+
+Dpu::~Dpu() = default;
+
+unsigned
+Dpu::addTasklet(TaskletBody body)
+{
+    fatalIf(in_run_, "addTasklet during run");
+    fatalIf(tasklets_.size() >= cfg_.max_tasklets,
+            "DPU supports at most ", cfg_.max_tasklets, " tasklets");
+    const unsigned tid = static_cast<unsigned>(tasklets_.size());
+    Tasklet t;
+    t.fiber = std::make_unique<Fiber>();
+    t.ctx = std::make_unique<DpuContext>(*this, tid,
+                                         deriveSeed(cfg_.seed, tid));
+    t.state = TaskletState::Ready;
+    t.ready_at = 0;
+    auto *ctx_ptr = t.ctx.get();
+    t.fiber->init(cfg_.fiber_stack_bytes,
+                  [body = std::move(body), ctx_ptr]() { body(*ctx_ptr); });
+    tasklets_.push_back(std::move(t));
+    return tid;
+}
+
+void
+Dpu::addTasklets(unsigned n, const TaskletBody &body)
+{
+    for (unsigned i = 0; i < n; ++i)
+        addTasklet(body);
+}
+
+void
+Dpu::resetRun()
+{
+    fatalIf(in_run_, "resetRun during run");
+    tasklets_.clear();
+    stats_ = DpuStats{};
+    now_ = 0;
+    mram_engine_free_ = 0;
+    barrier_count_ = 0;
+    barrier_generation_ = 0;
+}
+
+Cycles
+Dpu::instrCost(u64 instrs) const
+{
+    const unsigned interval =
+        std::max<unsigned>(timing_.reissue_interval, runnableCount());
+    return instrs * interval;
+}
+
+unsigned
+Dpu::runnableCount() const
+{
+    unsigned n = 0;
+    for (const auto &t : tasklets_)
+        if (t.state == TaskletState::Ready)
+            ++n;
+    return n;
+}
+
+void
+Dpu::consume(unsigned tid, Cycles cycles, Phase)
+{
+    auto &t = tasklets_[tid];
+    t.ready_at = now_ + cycles;
+    suspend(tid);
+}
+
+Cycles
+Dpu::mramAccess(unsigned tid, size_t bytes, bool is_write)
+{
+    (void)tid;
+    const u64 beats = divCeil(std::max<size_t>(bytes, 1),
+                              timing_.mram_beat_bytes);
+    const u64 transfers = divCeil(std::max<size_t>(bytes, 1),
+                                  timing_.mram_max_transfer_bytes);
+    const Cycles busy = transfers * timing_.mram_engine_setup_cycles +
+                        beats * timing_.mram_cycles_per_beat;
+    // The issuing tasklet first runs the SDK access routine.
+    const Cycles issue =
+        instrCost(transfers * timing_.mram_access_instrs);
+    stats_.instructions += transfers * timing_.mram_access_instrs;
+    const Cycles start = std::max(now_ + issue, mram_engine_free_);
+    mram_engine_free_ = start + busy;
+    const Cycles done = start + timing_.mram_latency_cycles + busy;
+
+    if (is_write) {
+        ++stats_.mram_writes;
+        stats_.mram_bytes_written += bytes;
+    } else {
+        ++stats_.mram_reads;
+        stats_.mram_bytes_read += bytes;
+    }
+    return done;
+}
+
+Cycles
+Dpu::mramRandomAccess(unsigned tid, u64 count, size_t bytes_each,
+                      bool is_write)
+{
+    (void)tid;
+    const u64 beats = divCeil(std::max<size_t>(bytes_each, 1),
+                              timing_.mram_beat_bytes);
+    const Cycles per_busy =
+        timing_.mram_engine_setup_cycles +
+        timing_.mram_random_extra_cycles +
+        beats * timing_.mram_cycles_per_beat;
+    // Each access is dependent (pointer-chasing): the issuing tasklet
+    // pays the SDK routine plus full latency per access; the engine is
+    // reserved for the aggregate bandwidth.
+    stats_.instructions += count * timing_.mram_access_instrs;
+    const Cycles per_serial = timing_.mram_latency_cycles + per_busy +
+                              instrCost(timing_.mram_access_instrs) +
+                              timing_.reissue_interval;
+    const Cycles start = std::max(now_, mram_engine_free_);
+    mram_engine_free_ = start + count * per_busy;
+    const Cycles done =
+        std::max(start + count * per_busy, now_ + count * per_serial);
+
+    if (is_write) {
+        stats_.mram_writes += count;
+        stats_.mram_bytes_written += count * bytes_each;
+    } else {
+        stats_.mram_reads += count;
+        stats_.mram_bytes_read += count * bytes_each;
+    }
+    return done;
+}
+
+void
+Dpu::suspend(unsigned tid)
+{
+    panicIf(running_tid_ != tid, "suspend from a non-running tasklet");
+    tasklets_[tid].fiber->yieldOut();
+}
+
+void
+Dpu::wakeAtomicWaiters(unsigned bit)
+{
+    for (auto &t : tasklets_) {
+        if (t.state == TaskletState::BlockedAtomic && t.waiting_bit == bit) {
+            t.state = TaskletState::Ready;
+            t.ready_at = now_ + 1;
+            stats_.atomic_stall_cycles += now_ - t.blocked_since;
+        }
+    }
+}
+
+void
+Dpu::maybeReleaseBarrier()
+{
+    unsigned alive = 0;
+    for (const auto &t : tasklets_)
+        if (t.state != TaskletState::Finished)
+            ++alive;
+    if (alive == 0 || barrier_count_ < alive)
+        return;
+    panicIf(barrier_count_ > alive, "barrier overshoot");
+    ++barrier_generation_;
+    barrier_count_ = 0;
+    for (auto &t : tasklets_) {
+        if (t.state == TaskletState::BlockedBarrier) {
+            t.state = TaskletState::Ready;
+            t.ready_at = now_ + 1;
+        }
+    }
+}
+
+void
+Dpu::run()
+{
+    fatalIf(tasklets_.empty(), "Dpu::run with no tasklets");
+    fatalIf(in_run_, "Dpu::run re-entered");
+    in_run_ = true;
+    scheduleLoop();
+    in_run_ = false;
+    stats_.total_cycles = now_;
+}
+
+void
+Dpu::scheduleLoop()
+{
+    for (;;) {
+        // Pick the runnable tasklet with the earliest local clock
+        // (ties broken by id — fully deterministic).
+        int next = -1;
+        for (size_t i = 0; i < tasklets_.size(); ++i) {
+            const auto &t = tasklets_[i];
+            if (t.state != TaskletState::Ready)
+                continue;
+            if (next < 0 || t.ready_at < tasklets_[next].ready_at)
+                next = static_cast<int>(i);
+        }
+        if (next < 0) {
+            // No runnable tasklet: either everyone finished, or we are
+            // deadlocked on atomics / the barrier.
+            bool all_finished = true;
+            for (const auto &t : tasklets_)
+                if (t.state != TaskletState::Finished)
+                    all_finished = false;
+            if (all_finished)
+                return;
+            panic("DPU deadlock: tasklets blocked with none runnable");
+        }
+
+        auto &t = tasklets_[next];
+        now_ = std::max(now_, t.ready_at);
+        running_tid_ = static_cast<unsigned>(next);
+        const bool alive = t.fiber->enter();
+        if (!alive) {
+            t.state = TaskletState::Finished;
+            // A finishing tasklet may satisfy an outstanding barrier.
+            maybeReleaseBarrier();
+        }
+    }
+}
+
+} // namespace pimstm::sim

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The simulated DPU: tasklet fibers, cycle-accounting scheduler,
+ * pipeline and MRAM-DMA timing model, atomic-register blocking, and
+ * per-phase statistics.
+ *
+ * Execution model
+ * ---------------
+ * Tasklet code is ordinary C++ running on a fiber. Every operation with
+ * a simulated cost goes through the DpuContext handed to the tasklet
+ * body; the context computes the cost under the TimingConfig, advances
+ * the tasklet's local clock and yields to the scheduler, which always
+ * resumes the globally-earliest runnable tasklet. Interleaving is thus
+ * decided purely by simulated time — deterministic, yet fine-grained
+ * enough (a switch on every memory access and atomic op) that real STM
+ * conflicts, aborts and lock aliasing all occur.
+ */
+
+#ifndef PIMSTM_SIM_DPU_HH
+#define PIMSTM_SIM_DPU_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/addr.hh"
+#include "sim/atomic_register.hh"
+#include "sim/config.hh"
+#include "sim/fiber.hh"
+#include "sim/memory.hh"
+#include "sim/phase.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+class Dpu;
+class DpuContext;
+
+/** Signature of a tasklet body. */
+using TaskletBody = std::function<void(DpuContext &)>;
+
+/** Aggregate statistics of one DPU run. */
+struct DpuStats
+{
+    /** Simulated cycles from launch to the last tasklet finishing. */
+    Cycles total_cycles = 0;
+
+    /** Busy cycles per phase, summed over tasklets. */
+    PhaseCycles phase_cycles{};
+
+    u64 instructions = 0;
+    u64 wram_accesses = 0;
+    u64 mram_reads = 0;
+    u64 mram_writes = 0;
+    u64 mram_bytes_read = 0;
+    u64 mram_bytes_written = 0;
+    u64 atomic_acquires = 0;
+    /** Times a tasklet found its atomic bit held and had to block. */
+    u64 atomic_stalls = 0;
+    /** Cycles spent blocked on a held atomic bit, summed over tasklets. */
+    Cycles atomic_stall_cycles = 0;
+
+    Cycles
+    busyCycles() const
+    {
+        Cycles total = 0;
+        for (Cycles c : phase_cycles)
+            total += c;
+        return total;
+    }
+};
+
+/**
+ * Per-tasklet view of the DPU, passed to the tasklet body. All methods
+ * must be called from inside that tasklet's fiber.
+ */
+class DpuContext
+{
+  public:
+    DpuContext(Dpu &dpu, unsigned id, u64 seed);
+
+    /** @{ Identity. */
+    unsigned taskletId() const { return id_; }
+    Dpu &dpu() { return dpu_; }
+    unsigned numTasklets() const;
+    /** @} */
+
+    /** Per-tasklet deterministic RNG. */
+    Rng &rng() { return rng_; }
+
+    /** @{ Compute: charge @p instrs pipeline-issued instructions. */
+    void compute(u64 instrs);
+    /** @} */
+
+    /** @{ Timed data access. Word accesses must be 4-byte aligned. */
+    u32 read32(Addr a);
+    void write32(Addr a, u32 v);
+    u64 read64(Addr a);
+    void write64(Addr a, u64 v);
+    void readBlock(Addr a, void *dst, size_t n);
+    void writeBlock(Addr a, const void *src, size_t n);
+    /** @} */
+
+    /**
+     * @{ Charge the cost of a memory access on @p tier without touching
+     * backing storage. The STM uses this to price accesses to metadata
+     * whose values live in host structures (read/write sets, lock
+     * tables), per the configured metadata placement.
+     */
+    void touchRead(Tier tier, size_t bytes);
+    void touchWrite(Tier tier, size_t bytes);
+
+    /**
+     * Charge @p count dependent random accesses of @p bytes_each to
+     * @p tier in one scheduling event. Unlike touchRead/touchWrite
+     * (which model one streamed DMA), this prices the latency-bound
+     * pattern of pointer-chasing kernels — each access pays full DMA
+     * latency — while still reserving DMA-engine bandwidth, so the
+     * cross-tasklet contention model stays intact without a fiber
+     * switch per word. Used by batch-simulated kernels (Lee expansion).
+     */
+    void touchRandom(Tier tier, u64 count, size_t bytes_each,
+                     bool is_write);
+    /** @} */
+
+    /** @{ Atomic register operations. acquire() blocks until granted. */
+    void acquire(u32 key);
+    bool tryAcquire(u32 key);
+    void release(u32 key);
+    /** @} */
+
+    /** All-tasklet rendezvous. */
+    void barrier();
+
+    /** Reschedule without charging cycles. */
+    void yield();
+
+    /** Stall for @p cycles of simulated time (busy wait / back-off). */
+    void delay(Cycles cycles);
+
+    /** Current simulated time. */
+    Cycles now() const;
+
+    /** @{ Phase accounting used by the STM layer. */
+    void setPhase(Phase p) { phase_ = p; }
+    Phase phase() const { return phase_; }
+
+    /** Mark transaction start: subsequent cycles accumulate separately
+     * so they can be re-binned as Wasted if the transaction aborts. */
+    void txAccountingBegin();
+    /** Flush accumulated tx cycles to their phases (commit path). */
+    void txAccountingCommit();
+    /** Re-bin all accumulated tx cycles as Wasted (abort path). */
+    void txAccountingAbort();
+    /** @} */
+
+  private:
+    friend class Dpu;
+
+    void charge(Phase p, Cycles c);
+
+    Dpu &dpu_;
+    unsigned id_;
+    Rng rng_;
+    Phase phase_ = Phase::NonTx;
+    bool in_tx_ = false;
+    PhaseCycles tx_acc_{};
+};
+
+/** One simulated DPU. */
+class Dpu
+{
+  public:
+    Dpu(const DpuConfig &cfg, const TimingConfig &timing);
+    ~Dpu();
+
+    Dpu(const Dpu &) = delete;
+    Dpu &operator=(const Dpu &) = delete;
+
+    /** Register one tasklet; call before run(). Returns its id. */
+    unsigned addTasklet(TaskletBody body);
+
+    /** Convenience: register @p n tasklets sharing one body. */
+    void addTasklets(unsigned n, const TaskletBody &body);
+
+    /**
+     * Run all registered tasklets to completion. Exceptions thrown by
+     * tasklet bodies propagate out. May be called again after
+     * resetRun() with fresh tasklets.
+     */
+    void run();
+
+    /** Clear tasklets and run-statistics; memory contents persist. */
+    void resetRun();
+
+    /** @{ Components. */
+    Memory &wram() { return wram_; }
+    Memory &mram() { return mram_; }
+    Memory &memory(Tier t) { return t == Tier::Wram ? wram_ : mram_; }
+    AtomicRegister &atomics() { return atomic_reg_; }
+    const DpuConfig &config() const { return cfg_; }
+    const TimingConfig &timing() const { return timing_; }
+    /** @} */
+
+    /** Statistics of the current / most recent run. */
+    const DpuStats &stats() const { return stats_; }
+
+    /** Current simulated cycle. */
+    Cycles now() const { return now_; }
+
+    /** Number of registered tasklets. */
+    unsigned numTasklets() const { return static_cast<unsigned>(tasklets_.size()); }
+
+  private:
+    friend class DpuContext;
+
+    enum class TaskletState : u8
+    {
+        Ready,          ///< runnable at ready_at
+        BlockedAtomic,  ///< waiting for an atomic register bit
+        BlockedBarrier, ///< waiting at the barrier
+        Finished,
+    };
+
+    struct Tasklet
+    {
+        std::unique_ptr<Fiber> fiber;
+        std::unique_ptr<DpuContext> ctx;
+        TaskletState state = TaskletState::Ready;
+        Cycles ready_at = 0;
+        unsigned waiting_bit = 0;      // valid when BlockedAtomic
+        Cycles blocked_since = 0;      // for atomic stall accounting
+    };
+
+    /** Cost in cycles of issuing @p instrs instructions now. */
+    Cycles instrCost(u64 instrs) const;
+
+    /** Number of tasklets that currently compete for issue slots. */
+    unsigned runnableCount() const;
+
+    /** Charge @p cycles to @p t and suspend it until now + cycles. */
+    void consume(unsigned tid, Cycles cycles, Phase phase);
+
+    /** Schedule an MRAM DMA of @p bytes; returns completion time. */
+    Cycles mramAccess(unsigned tid, size_t bytes, bool is_write);
+
+    /** Schedule @p count dependent random MRAM accesses; returns the
+     * completion time of the last one. */
+    Cycles mramRandomAccess(unsigned tid, u64 count, size_t bytes_each,
+                            bool is_write);
+
+    /** Suspend the calling tasklet and return to the scheduler. */
+    void suspend(unsigned tid);
+
+    /** Wake tasklets blocked on atomic @p bit. */
+    void wakeAtomicWaiters(unsigned bit);
+
+    /** Release the barrier if every live tasklet has arrived. */
+    void maybeReleaseBarrier();
+
+    void scheduleLoop();
+
+    DpuConfig cfg_;
+    TimingConfig timing_;
+    Memory wram_;
+    Memory mram_;
+    AtomicRegister atomic_reg_;
+    std::vector<Tasklet> tasklets_;
+    DpuStats stats_;
+
+    Cycles now_ = 0;
+    Cycles mram_engine_free_ = 0;
+    unsigned running_tid_ = 0;
+    bool in_run_ = false;
+
+    // Barrier state.
+    unsigned barrier_count_ = 0;
+    u64 barrier_generation_ = 0;
+};
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_DPU_HH

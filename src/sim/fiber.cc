@@ -1,0 +1,93 @@
+#include "sim/fiber.hh"
+
+#include "util/logging.hh"
+
+namespace pimstm::sim
+{
+
+namespace
+{
+
+// The fiber about to be started. makecontext() only portably passes int
+// arguments, so the pointer is handed over through this slot instead.
+// The simulator is single-host-threaded, so a plain static is safe.
+Fiber *starting_fiber = nullptr;
+
+} // namespace
+
+void
+Fiber::init(size_t stack_bytes, Body body)
+{
+    panicIf(inside_, "Fiber::init called from inside the fiber");
+    panicIf(started_ && !finished_, "Fiber::init on a live fiber");
+
+    if (!stack_ || stack_bytes_ < stack_bytes) {
+        stack_ = std::make_unique<char[]>(stack_bytes);
+        stack_bytes_ = stack_bytes;
+    }
+    body_ = std::move(body);
+    pending_exception_ = nullptr;
+    finished_ = false;
+    started_ = false;
+
+    panicIf(getcontext(&ctx_) != 0, "getcontext failed");
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &owner_ctx_;
+    makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = starting_fiber;
+    starting_fiber = nullptr;
+    self->run();
+    // Falling off the trampoline returns to owner_ctx_ via uc_link, but
+    // run() already marks the fiber finished and we prefer the explicit
+    // swap so the owner context is the one captured by the last enter().
+}
+
+void
+Fiber::run()
+{
+    try {
+        body_();
+    } catch (...) {
+        pending_exception_ = std::current_exception();
+    }
+    finished_ = true;
+    // Return to the most recent enter().
+    swapcontext(&ctx_, &owner_ctx_);
+}
+
+bool
+Fiber::enter()
+{
+    panicIf(finished_, "Fiber::enter on a finished fiber");
+    panicIf(inside_, "Fiber::enter re-entered");
+
+    inside_ = true;
+    if (!started_) {
+        started_ = true;
+        starting_fiber = this;
+    }
+    panicIf(swapcontext(&owner_ctx_, &ctx_) != 0, "swapcontext failed");
+    inside_ = false;
+
+    if (pending_exception_) {
+        auto ex = pending_exception_;
+        pending_exception_ = nullptr;
+        std::rethrow_exception(ex);
+    }
+    return !finished_;
+}
+
+void
+Fiber::yieldOut()
+{
+    panicIf(!inside_, "Fiber::yieldOut outside the fiber");
+    panicIf(swapcontext(&ctx_, &owner_ctx_) != 0, "swapcontext failed");
+}
+
+} // namespace pimstm::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on POSIX ucontext.
+ *
+ * Each simulated tasklet runs on its own fiber; the DPU scheduler switches
+ * into a fiber to advance that tasklet and the fiber switches back on
+ * every simulated-cost operation (memory access, instruction batch,
+ * atomic op). Everything stays on one host thread, so simulated
+ * "concurrency" is fully deterministic.
+ */
+
+#ifndef PIMSTM_SIM_FIBER_HH
+#define PIMSTM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+/**
+ * A single fiber. The owner (scheduler) calls enter() to run it; the
+ * fiber body calls yieldOut() to suspend back to the owner. When the
+ * body returns (or throws), the fiber becomes finished and control
+ * returns to the owner; a stored exception is rethrown by enter().
+ */
+class Fiber
+{
+  public:
+    using Body = std::function<void()>;
+
+    Fiber() = default;
+    ~Fiber() = default;
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Prepare the fiber with a stack and a body. May be called again
+     * after the previous body finished, to reuse the stack.
+     */
+    void init(size_t stack_bytes, Body body);
+
+    /**
+     * Switch from the owner into the fiber; returns when the fiber
+     * yields or finishes. Rethrows any exception the body raised.
+     *
+     * @retval true the fiber is still runnable (it yielded)
+     * @retval false the body finished
+     */
+    bool enter();
+
+    /** Suspend back to the owner. Must be called from inside the body. */
+    void yieldOut();
+
+    /** True once the body has returned or thrown. */
+    bool finished() const { return finished_; }
+
+    /** True if init() has been called and the body has not finished. */
+    bool runnable() const { return started_ && !finished_; }
+
+  private:
+    static void trampoline();
+    void run();
+
+    std::unique_ptr<char[]> stack_;
+    size_t stack_bytes_ = 0;
+    Body body_;
+    ucontext_t ctx_{};
+    ucontext_t owner_ctx_{};
+    bool started_ = false;
+    bool finished_ = true;
+    bool inside_ = false;
+    std::exception_ptr pending_exception_;
+};
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_FIBER_HH

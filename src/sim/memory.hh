@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Backing store for one memory tier (WRAM or MRAM) of a simulated DPU,
+ * plus a bump allocator with hard capacity enforcement.
+ *
+ * This class only stores bytes; all timing is charged by the Dpu
+ * scheduler, which knows about the DMA engine and the pipeline.
+ * Capacity enforcement matters: the paper's WRAM-metadata experiments
+ * hinge on allocations that do not fit in 64 KB (Labyrinth read/write
+ * sets, the ArrayBench A lock table), and alloc() failing loudly is how
+ * this reproduction triggers the same fallbacks.
+ */
+
+#ifndef PIMSTM_SIM_MEMORY_HH
+#define PIMSTM_SIM_MEMORY_HH
+
+#include <cstring>
+#include <vector>
+
+#include "sim/addr.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+/** One memory tier: raw byte storage plus a bump allocator. */
+class Memory
+{
+  public:
+    Memory(Tier tier, size_t capacity)
+        : tier_(tier), data_(capacity, 0)
+    {}
+
+    Tier tier() const { return tier_; }
+    size_t capacity() const { return data_.size(); }
+    size_t allocated() const { return brk_; }
+    size_t available() const { return data_.size() - brk_; }
+
+    /**
+     * Allocate @p bytes (aligned to @p align) and return the byte
+     * offset. Throws FatalError when the tier is full — callers use
+     * this to reproduce the paper's "does not fit in WRAM" cases.
+     */
+    u32
+    alloc(size_t bytes, size_t align = 8)
+    {
+        panicIf(!isPow2(align), "alignment must be a power of two");
+        const size_t start = alignUp(brk_, align);
+        if (start + bytes > data_.size()) {
+            fatal(tierName(tier_), " allocation of ", bytes,
+                  " bytes does not fit (", available(), " of ",
+                  capacity(), " bytes free)");
+        }
+        brk_ = start + bytes;
+        return static_cast<u32>(start);
+    }
+
+    /** True iff alloc(bytes, align) would succeed. */
+    bool
+    canAlloc(size_t bytes, size_t align = 8) const
+    {
+        return alignUp(brk_, align) + bytes <= data_.size();
+    }
+
+    /** Release everything allocated so far (arena-style reset). */
+    void resetAlloc() { brk_ = 0; }
+
+    /** @{ Raw, untimed accessors. Offsets must be in range. */
+    u32
+    read32(u32 offset) const
+    {
+        checkRange(offset, 4);
+        u32 v;
+        std::memcpy(&v, data_.data() + offset, 4);
+        return v;
+    }
+
+    void
+    write32(u32 offset, u32 value)
+    {
+        checkRange(offset, 4);
+        std::memcpy(data_.data() + offset, &value, 4);
+    }
+
+    u64
+    read64(u32 offset) const
+    {
+        checkRange(offset, 8);
+        u64 v;
+        std::memcpy(&v, data_.data() + offset, 8);
+        return v;
+    }
+
+    void
+    write64(u32 offset, u64 value)
+    {
+        checkRange(offset, 8);
+        std::memcpy(data_.data() + offset, &value, 8);
+    }
+
+    void
+    readBlock(u32 offset, void *dst, size_t n) const
+    {
+        checkRange(offset, n);
+        std::memcpy(dst, data_.data() + offset, n);
+    }
+
+    void
+    writeBlock(u32 offset, const void *src, size_t n)
+    {
+        checkRange(offset, n);
+        std::memcpy(data_.data() + offset, src, n);
+    }
+
+    void
+    fill(u32 offset, u8 byte, size_t n)
+    {
+        checkRange(offset, n);
+        std::memset(data_.data() + offset, byte, n);
+    }
+    /** @} */
+
+  private:
+    void
+    checkRange(u32 offset, size_t n) const
+    {
+        panicIf(static_cast<size_t>(offset) + n > data_.size(),
+                tierName(tier_), " access out of range: offset ", offset,
+                " size ", n, " capacity ", data_.size());
+    }
+
+    Tier tier_;
+    std::vector<u8> data_;
+    size_t brk_ = 0;
+};
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_MEMORY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Execution-phase labels used for the paper's time-breakdown plots
+ * (Figs. 4i-l, 5i-l, 9i-l, 10c-d). The scheduler attributes every cycle
+ * a tasklet consumes to the phase the STM currently marks itself in;
+ * cycles of transactions that ultimately abort are re-binned as Wasted.
+ */
+
+#ifndef PIMSTM_SIM_PHASE_HH
+#define PIMSTM_SIM_PHASE_HH
+
+#include <array>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+enum class Phase : u8
+{
+    NonTx = 0,     ///< outside any transaction
+    TxStart,       ///< transaction begin bookkeeping
+    TxRead,        ///< STM read instrumentation + data read
+    TxWrite,       ///< STM write instrumentation + data write
+    TxValidate,    ///< readset validation / snapshot extension
+    TxCommit,      ///< commit-time work (locking, write-back, clock)
+    TxOther,       ///< user code executing inside a transaction
+    Wasted,        ///< all cycles of transactions that aborted
+    NumPhases,
+};
+
+constexpr size_t kNumPhases = static_cast<size_t>(Phase::NumPhases);
+
+constexpr std::string_view
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::NonTx: return "non-tx";
+      case Phase::TxStart: return "start";
+      case Phase::TxRead: return "read";
+      case Phase::TxWrite: return "write";
+      case Phase::TxValidate: return "validate";
+      case Phase::TxCommit: return "commit";
+      case Phase::TxOther: return "other-executing";
+      case Phase::Wasted: return "wasted";
+      default: return "?";
+    }
+}
+
+/** Per-phase cycle accumulator. */
+using PhaseCycles = std::array<Cycles, kNumPhases>;
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_PHASE_HH

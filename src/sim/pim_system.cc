@@ -1,0 +1,86 @@
+#include "sim/pim_system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pimstm::sim
+{
+
+PimSystem::PimSystem(unsigned logical_dpus, unsigned simulated_dpus,
+                     const DpuConfig &dpu_cfg, const TimingConfig &timing,
+                     const HostLinkConfig &link)
+    : logical_dpus_(logical_dpus), timing_(timing), link_(link)
+{
+    fatalIf(logical_dpus == 0, "PimSystem needs at least one DPU");
+    fatalIf(simulated_dpus == 0 || simulated_dpus > logical_dpus,
+            "simulated sample must be in [1, logical_dpus]");
+    dpus_.reserve(simulated_dpus);
+    for (unsigned i = 0; i < simulated_dpus; ++i) {
+        DpuConfig cfg = dpu_cfg;
+        cfg.seed = deriveSeed(dpu_cfg.seed, 0xD9u, i);
+        dpus_.push_back(std::make_unique<Dpu>(cfg, timing));
+    }
+}
+
+Dpu &
+PimSystem::dpu(unsigned i)
+{
+    panicIf(i >= dpus_.size(), "simulated DPU index out of range");
+    return *dpus_[i];
+}
+
+double
+PimSystem::runAllSeconds()
+{
+    double worst = 0.0;
+    for (auto &d : dpus_) {
+        d->run();
+        worst = std::max(worst,
+                         timing_.cyclesToSeconds(d->stats().total_cycles));
+    }
+    return worst;
+}
+
+double
+PimSystem::transferSeconds(size_t bytes_per_dpu) const
+{
+    // Host<->MRAM copies are batched across ranks; total bytes move at
+    // the aggregate link bandwidth, plus a fixed setup term.
+    const double total_bytes =
+        static_cast<double>(bytes_per_dpu) * logical_dpus_;
+    const double bw = link_.host_copy_bandwidth_gbps * 1e9;
+    return link_.copy_base_us * 1e-6 + total_bytes / bw;
+}
+
+double
+PimSystem::hostToDpusSeconds(size_t bytes_per_dpu) const
+{
+    return transferSeconds(bytes_per_dpu);
+}
+
+double
+PimSystem::dpusToHostSeconds(size_t bytes_per_dpu) const
+{
+    return transferSeconds(bytes_per_dpu);
+}
+
+double
+PimSystem::interDpuWordReadSeconds() const
+{
+    return link_.interdpu_word_read_us * 1e-6;
+}
+
+double
+PimSystem::localMramWordReadSeconds() const
+{
+    return link_.local_mram_word_read_ns * 1e-9;
+}
+
+double
+PimSystem::launchOverheadSeconds() const
+{
+    return link_.launch_overhead_us * 1e-6;
+}
+
+} // namespace pimstm::sim

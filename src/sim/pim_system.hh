@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-DPU system model for the §4.3 experiments.
+ *
+ * UPMEM DPUs cannot talk to each other: all inter-DPU data movement is
+ * CPU-mediated, and the CPU may only touch MRAM while the DPU is idle.
+ * PimSystem owns a *sample* of fully-simulated DPUs (the benchmarks'
+ * DPUs are symmetric — disjoint shards / independent problem instances)
+ * and a cost model for host<->DPU transfers, from which whole-system
+ * execution time for `logicalDpus()` devices is derived, exactly
+ * mirroring the paper's own scaling argument (§4.3.2).
+ */
+
+#ifndef PIMSTM_SIM_PIM_SYSTEM_HH
+#define PIMSTM_SIM_PIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/dpu.hh"
+#include "util/types.hh"
+
+namespace pimstm::sim
+{
+
+/** A PIM system: N logical DPUs, of which a sample is simulated. */
+class PimSystem
+{
+  public:
+    /**
+     * @param logical_dpus  DPUs the modelled system contains
+     * @param simulated_dpus fully-simulated sample size (<= logical)
+     */
+    PimSystem(unsigned logical_dpus, unsigned simulated_dpus,
+              const DpuConfig &dpu_cfg, const TimingConfig &timing,
+              const HostLinkConfig &link);
+
+    unsigned logicalDpus() const { return logical_dpus_; }
+    unsigned simulatedDpus() const
+    {
+        return static_cast<unsigned>(dpus_.size());
+    }
+
+    /** Simulated DPU @p i of the sample. */
+    Dpu &dpu(unsigned i);
+
+    const TimingConfig &timing() const { return timing_; }
+    const HostLinkConfig &link() const { return link_; }
+
+    /**
+     * Run every simulated DPU to completion and return the simulated
+     * wall time of the slowest one (DPUs run in parallel on hardware).
+     */
+    double runAllSeconds();
+
+    /** Time for the host to copy @p bytes_per_dpu to every DPU. */
+    double hostToDpusSeconds(size_t bytes_per_dpu) const;
+
+    /** Time for the host to gather @p bytes_per_dpu from every DPU. */
+    double dpusToHostSeconds(size_t bytes_per_dpu) const;
+
+    /** Cost of one CPU-mediated inter-DPU 64-bit word read (E1). */
+    double interDpuWordReadSeconds() const;
+
+    /** Cost of a local MRAM 64-bit word read, for the E1 comparison. */
+    double localMramWordReadSeconds() const;
+
+    /** Fixed DPU-batch launch/sync overhead. */
+    double launchOverheadSeconds() const;
+
+  private:
+    double transferSeconds(size_t bytes_per_dpu) const;
+
+    unsigned logical_dpus_;
+    TimingConfig timing_;
+    HostLinkConfig link_;
+    std::vector<std::unique_ptr<Dpu>> dpus_;
+};
+
+} // namespace pimstm::sim
+
+#endif // PIMSTM_SIM_PIM_SYSTEM_HH

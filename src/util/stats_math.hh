@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harnesses: mean, standard
+ * deviation, geometric mean, percentiles — everything the paper's plots
+ * report about multi-seed runs.
+ */
+
+#ifndef PIMSTM_UTIL_STATS_MATH_HH
+#define PIMSTM_UTIL_STATS_MATH_HH
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pimstm
+{
+
+/** Arithmetic mean of @p xs; 0 for an empty vector. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+inline double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+/** Geometric mean; all inputs must be positive. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geomean requires positive inputs, got ", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Minimum; 0 for empty. */
+inline double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+/** Maximum; 0 for empty. */
+inline double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+/**
+ * Percentile with linear interpolation, @p p in [0, 100].
+ * The input does not need to be sorted.
+ */
+inline double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<size_t>(std::floor(rank));
+    const auto hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+/** Median (50th percentile). */
+inline double
+median(const std::vector<double> &xs)
+{
+    return percentile(xs, 50.0);
+}
+
+} // namespace pimstm
+
+#endif // PIMSTM_UTIL_STATS_MATH_HH

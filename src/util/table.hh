@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Plain-text / CSV table writer used by every benchmark harness to print
+ * the rows and series that correspond to the paper's tables and figures.
+ */
+
+#ifndef PIMSTM_UTIL_TABLE_HH
+#define PIMSTM_UTIL_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pimstm
+{
+
+/**
+ * A simple column-aligned table. Columns are declared once; rows are
+ * appended cell by cell. Output as aligned text (for terminals) or CSV
+ * (for plotting scripts).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Begin a new row. */
+    Table &
+    newRow()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    Table &
+    cell(const std::string &value)
+    {
+        panicIf(rows_.empty(), "Table::cell before Table::newRow");
+        rows_.back().push_back(value);
+        return *this;
+    }
+
+    /** Append a floating-point cell with @p precision decimals. */
+    Table &
+    cell(double value, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return cell(os.str());
+    }
+
+    /** Append an integral cell. */
+    Table &
+    cell(u64 value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    Table &
+    cell(int value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    Table &
+    cell(unsigned value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    size_t numRows() const { return rows_.size(); }
+    size_t numCols() const { return headers_.size(); }
+
+    /** Write as a column-aligned text table. */
+    void
+    printText(std::ostream &os) const
+    {
+        std::vector<size_t> widths(headers_.size());
+        for (size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < row.size(); ++c) {
+                os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                   << row[c];
+            }
+            os << '\n';
+        };
+        print_row(headers_);
+        for (size_t c = 0; c < headers_.size(); ++c)
+            os << std::string(widths[c], '-') << "  ";
+        os << '\n';
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+    /** Write as CSV. */
+    void
+    printCsv(std::ostream &os) const
+    {
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < row.size(); ++c) {
+                if (c)
+                    os << ',';
+                os << escape(row[c]);
+            }
+            os << '\n';
+        };
+        print_row(headers_);
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pimstm
+
+#endif // PIMSTM_UTIL_TABLE_HH

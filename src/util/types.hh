@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental integer typedefs and small helpers shared across the
+ * PIM-STM reproduction codebase.
+ */
+
+#ifndef PIMSTM_UTIL_TYPES_HH
+#define PIMSTM_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pimstm
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Simulated cycle count. */
+using Cycles = u64;
+
+/** Round @p v up to the next power of two (v must be > 0). */
+constexpr u64
+nextPow2(u64 v)
+{
+    --v;
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v |= v >> 32;
+    return v + 1;
+}
+
+/** True iff @p v is a power of two. */
+constexpr bool
+isPow2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer division rounding up. */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Align @p v up to a multiple of @p align (power of two). */
+constexpr u64
+alignUp(u64 v, u64 align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace pimstm
+
+#endif // PIMSTM_UTIL_TYPES_HH

@@ -1,0 +1,337 @@
+#include "workloads/labyrinth.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace pimstm::workloads
+{
+
+namespace
+{
+
+constexpr u32 kFree = 0;
+/** Distance-field marker for blocked cells during expansion. */
+constexpr u32 kBlocked = 0xffffffffu;
+constexpr u32 kUnvisited = 0xfffffffeu;
+
+} // namespace
+
+Labyrinth::Labyrinth(const LabyrinthParams &params)
+    : params_(params)
+{}
+
+const char *
+Labyrinth::name() const
+{
+    if (params_.x >= 128)
+        return "Labyrinth L";
+    if (params_.x >= 32)
+        return "Labyrinth M";
+    return "Labyrinth S";
+}
+
+void
+Labyrinth::configure(core::StmConfig &cfg) const
+{
+    cfg.max_read_set = params_.maxPathCells() + 16;
+    cfg.max_write_set = params_.maxPathCells() + 16;
+    cfg.data_words_hint = params_.cells();
+}
+
+void
+Labyrinth::cellCoords(u32 index, u32 &cx, u32 &cy, u32 &cz) const
+{
+    cx = index % params_.x;
+    cy = (index / params_.x) % params_.y;
+    cz = index / (params_.x * params_.y);
+}
+
+unsigned
+Labyrinth::neighbors(u32 index, u32 *out) const
+{
+    u32 cx, cy, cz;
+    cellCoords(index, cx, cy, cz);
+    unsigned n = 0;
+    if (cx > 0)
+        out[n++] = cellIndex(cx - 1, cy, cz);
+    if (cx + 1 < params_.x)
+        out[n++] = cellIndex(cx + 1, cy, cz);
+    if (cy > 0)
+        out[n++] = cellIndex(cx, cy - 1, cz);
+    if (cy + 1 < params_.y)
+        out[n++] = cellIndex(cx, cy + 1, cz);
+    if (cz > 0)
+        out[n++] = cellIndex(cx, cy, cz - 1);
+    if (cz + 1 < params_.z)
+        out[n++] = cellIndex(cx, cy, cz + 1);
+    return n;
+}
+
+void
+Labyrinth::setup(sim::Dpu &dpu, core::Stm &stm)
+{
+    dpu_ = &dpu;
+    grid_ = runtime::SharedArray32(dpu, sim::Tier::Mram, params_.cells());
+    grid_.fill(dpu, kFree);
+    queue_ = runtime::TxQueue(dpu, sim::Tier::Mram, params_.num_paths);
+
+    // Tasklet-private grid copies live in MRAM too (they exceed WRAM
+    // for every grid size beyond S) — reserve them for capacity truth.
+    const unsigned tasklets = stm.config().num_tasklets;
+    for (unsigned t = 0; t < tasklets; ++t)
+        dpu.mram().alloc(static_cast<size_t>(params_.cells()) * 4);
+    scratch_.assign(tasklets, {});
+
+    // Deterministic job generation: endpoint cells are all distinct,
+    // and each pair is within the distance cap (like STAMP's generated
+    // inputs, which keep dense instances mostly routable).
+    Rng rng(deriveSeed(dpu.config().seed, 0x1abu));
+    std::vector<u8> used(params_.cells(), 0);
+    jobs_.clear();
+    jobs_.reserve(params_.num_paths);
+    const u32 cap = params_.distanceCap();
+    for (u32 j = 0; j < params_.num_paths; ++j) {
+        Job job;
+        for (int attempt = 0;; ++attempt) {
+            fatalIf(attempt > 10000,
+                    "could not place Labyrinth endpoints; grid too dense");
+            job.src = static_cast<u32>(rng.below(params_.cells()));
+            if (used[job.src])
+                continue;
+            u32 sx, sy, sz;
+            cellCoords(job.src, sx, sy, sz);
+            // Pick dst within the cap box around src.
+            const u32 dx = static_cast<u32>(rng.range(0, cap));
+            const u32 dy = static_cast<u32>(rng.range(0, cap - dx));
+            const u32 tx = static_cast<u32>(
+                std::min<u64>(params_.x - 1,
+                              rng.chance(0.5) && sx >= dx ? sx - dx
+                                                          : sx + dx));
+            const u32 ty = static_cast<u32>(
+                std::min<u64>(params_.y - 1,
+                              rng.chance(0.5) && sy >= dy ? sy - dy
+                                                          : sy + dy));
+            const u32 tz = static_cast<u32>(rng.below(params_.z));
+            job.dst = cellIndex(tx, ty, tz);
+            if (job.dst == job.src || used[job.dst])
+                continue;
+            break;
+        }
+        used[job.src] = 1;
+        used[job.dst] = 1;
+        jobs_.push_back(job);
+    }
+    routed_.assign(params_.num_paths, 0);
+    routed_count_ = 0;
+    failed_count_ = 0;
+}
+
+void
+Labyrinth::copyGrid(sim::DpuContext &ctx, std::vector<u32> &local)
+{
+    const size_t bytes = static_cast<size_t>(params_.cells()) * 4;
+    // Shared grid -> WRAM staging -> private MRAM copy, in 2 KB DMA
+    // chunks; the host-side image is what route() actually inspects.
+    const size_t chunk = 2048;
+    for (size_t off = 0; off < bytes; off += chunk) {
+        const size_t n = std::min(chunk, bytes - off);
+        ctx.touchRead(sim::Tier::Mram, n);
+        ctx.touchWrite(sim::Tier::Mram, n);
+    }
+    local.resize(params_.cells());
+    auto &mem = dpu_->mram();
+    const u32 base = sim::addrOffset(grid_.base());
+    for (u32 i = 0; i < params_.cells(); ++i)
+        local[i] = mem.read32(base + i * 4);
+}
+
+std::vector<u32>
+Labyrinth::route(sim::DpuContext &ctx, std::vector<u32> &local,
+                 const Job &job)
+{
+    // Lee expansion: BFS distance field over free cells of the private
+    // snapshot. Costs are charged per wavefront: the real kernel reads
+    // and writes the private MRAM grid as it expands.
+    // Either endpoint may have been routed over by a committed path
+    // (endpoints are only reserved against *other endpoints*): such a
+    // job is unroutable, exactly like a blocked STAMP input.
+    if (local[job.src] != kFree || local[job.dst] != kFree)
+        return {};
+    std::vector<u32> &dist = local; // reuse: rewrite values in place
+    for (u32 i = 0; i < params_.cells(); ++i)
+        dist[i] = (local[i] == kFree) ? kUnvisited : kBlocked;
+    dist[job.src] = 0;
+
+    std::deque<u32> frontier{job.src};
+    bool found = false;
+    u64 expansions = 0;
+    u32 nb[6];
+    while (!frontier.empty() && !found) {
+        const size_t level_size = frontier.size();
+        for (size_t i = 0; i < level_size && !found; ++i) {
+            const u32 cell = frontier.front();
+            frontier.pop_front();
+            ++expansions;
+            const unsigned n = neighbors(cell, nb);
+            for (unsigned k = 0; k < n; ++k) {
+                if (dist[nb[k]] != kUnvisited)
+                    continue;
+                dist[nb[k]] = dist[cell] + 1;
+                if (nb[k] == job.dst) {
+                    found = true;
+                    break;
+                }
+                frontier.push_back(nb[k]);
+            }
+        }
+        // Charge the wavefront. Lee expansion is pointer-chasing over
+        // the private MRAM grid: per expanded cell, random word reads
+        // of the neighbours, a distance write, and queue bookkeeping.
+        const u64 level_cells = expansions;
+        ctx.touchRandom(sim::Tier::Mram, level_cells * 3, 4, false);
+        ctx.touchRandom(sim::Tier::Mram, level_cells, 4, true);
+        // Queue push/pop, bounds checks and 3-D index arithmetic cost
+        // dozens of instructions per cell on the 32-bit in-order core.
+        ctx.compute(level_cells * 60);
+        expansions = 0;
+    }
+    if (!found)
+        return {};
+
+    // Backtrack from dst following strictly-decreasing distances.
+    std::vector<u32> path;
+    path.push_back(job.dst);
+    u32 cur = job.dst;
+    while (cur != job.src) {
+        const unsigned n = neighbors(cur, nb);
+        u32 next = kBlocked;
+        for (unsigned k = 0; k < n; ++k) {
+            if (dist[nb[k]] < dist[cur] && dist[nb[k]] != kBlocked) {
+                next = nb[k];
+                break;
+            }
+        }
+        panicIf(next == kBlocked, "Lee backtrack lost the trail");
+        path.push_back(next);
+        cur = next;
+    }
+    // Backtracking re-reads the neighbours of every path cell.
+    ctx.touchRandom(sim::Tier::Mram, path.size() * 4, 4, false);
+    ctx.compute(path.size() * 30);
+    std::reverse(path.begin(), path.end());
+    if (path.size() > params_.maxPathCells())
+        return {}; // treat over-long detours as unroutable
+    return path;
+}
+
+void
+Labyrinth::runJob(sim::DpuContext &ctx, core::Stm &stm, u32 job_index)
+{
+    const Job &job = jobs_[job_index];
+    bool routed = false;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        routed = false;
+        std::vector<u32> &local = scratch_[ctx.taskletId()];
+        copyGrid(ctx, local);
+        const std::vector<u32> path = route(ctx, local, job);
+        if (path.empty())
+            return; // unroutable: commit without writes, job consumed
+        // Claim the path through the STM. Any cell concurrently taken
+        // forces a retry, which re-snapshots and re-routes.
+        for (const u32 cell : path) {
+            if (tx.read(grid_.at(cell)) != kFree)
+                tx.retry();
+            tx.write(grid_.at(cell), job_index + 1);
+        }
+        routed = true;
+    });
+    routed_[job_index] = routed ? 1 : 0;
+    if (routed)
+        ++routed_count_;
+    else
+        ++failed_count_;
+}
+
+void
+Labyrinth::tasklet(sim::DpuContext &ctx, core::Stm &stm)
+{
+    for (;;) {
+        const s64 job = queue_.pop(stm, ctx);
+        if (job < 0)
+            return;
+        runJob(ctx, stm, static_cast<u32>(job));
+    }
+}
+
+void
+Labyrinth::verify(sim::Dpu &dpu, core::Stm &)
+{
+    fatalIf(routed_count_ + failed_count_ != params_.num_paths,
+            "Labyrinth consumed ", routed_count_ + failed_count_,
+            " of ", params_.num_paths, " jobs");
+
+    // Group grid cells by path id.
+    std::vector<std::vector<u32>> cells_of(params_.num_paths + 1);
+    for (u32 i = 0; i < params_.cells(); ++i) {
+        const u32 v = grid_.peek(dpu, i);
+        fatalIf(v > params_.num_paths, "grid cell holds bogus path id ", v);
+        if (v != kFree)
+            cells_of[v].push_back(i);
+    }
+
+    u32 nb[6];
+    for (u32 j = 0; j < params_.num_paths; ++j) {
+        const auto &cells = cells_of[j + 1];
+        if (!routed_[j]) {
+            fatalIf(!cells.empty(), "failed path ", j, " left ",
+                    cells.size(), " cells on the grid");
+            continue;
+        }
+        // The routed path must contain both endpoints and be connected.
+        fatalIf(cells.empty(), "routed path ", j, " has no cells");
+        std::vector<u8> member(params_.cells(), 0);
+        for (const u32 c : cells)
+            member[c] = 1;
+        auto has = [&](u32 c) { return member[c] != 0; };
+        fatalIf(!has(jobs_[j].src) || !has(jobs_[j].dst),
+                "path ", j, " missing an endpoint");
+        // Flood from src across this path's cells; must reach dst.
+        std::vector<u32> stack{jobs_[j].src};
+        std::vector<u8> seen(params_.cells(), 0);
+        seen[jobs_[j].src] = 1;
+        bool reached = jobs_[j].src == jobs_[j].dst;
+        while (!stack.empty()) {
+            const u32 cur = stack.back();
+            stack.pop_back();
+            const unsigned n = neighbors(cur, nb);
+            for (unsigned k = 0; k < n; ++k) {
+                if (seen[nb[k]] || !has(nb[k]))
+                    continue;
+                seen[nb[k]] = 1;
+                if (nb[k] == jobs_[j].dst)
+                    reached = true;
+                stack.push_back(nb[k]);
+            }
+        }
+        fatalIf(!reached, "path ", j, " is not connected");
+    }
+}
+
+u64
+Labyrinth::appOps() const
+{
+    return routed_count_;
+}
+
+std::map<std::string, double>
+Labyrinth::extraMetrics() const
+{
+    return {
+        {"routed", static_cast<double>(routed_count_)},
+        {"failed", static_cast<double>(failed_count_)},
+    };
+}
+
+} // namespace pimstm::workloads

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Labyrinth — TM port of the STAMP Labyrinth benchmark (Lee's routing
+ * algorithm) per §4.1 of the paper.
+ *
+ * Transactions concurrently route paths over a shared 3-D grid while
+ * guaranteeing paths do not overlap. Each routing transaction:
+ *   1. snapshots the shared grid into a tasklet-private MRAM copy
+ *      (plain DMA, no STM instrumentation — "Other (Executing)" time),
+ *   2. runs a breadth-first Lee expansion + backtrack on the private
+ *      copy (compute + private-MRAM traffic),
+ *   3. claims the chosen path through the STM: every cell is read
+ *      (must still be free) and written with the path id. A cell taken
+ *      by a concurrently-committed path forces a retry, which re-runs
+ *      the whole copy+route — exactly STAMP's structure.
+ * Jobs are dispensed by a short transactional queue pop, the paper's
+ * "very short transaction used to extract jobs from a shared queue".
+ *
+ * The workload is strongly MRAM-bound (grid copies dominate), so the
+ * DPU saturates below 11 tasklets — the paper's Fig. 5 observation.
+ */
+
+#ifndef PIMSTM_WORKLOADS_LABYRINTH_HH
+#define PIMSTM_WORKLOADS_LABYRINTH_HH
+
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "runtime/shared_array.hh"
+#include "runtime/tx_queue.hh"
+
+namespace pimstm::workloads
+{
+
+struct LabyrinthParams
+{
+    u32 x = 16, y = 16, z = 3;
+    /** Paths to route (100 in the paper). */
+    u32 num_paths = 100;
+    /** Manhattan-distance cap between endpoints (0 = x/2+y/2+z),
+     * keeps dense instances routable like STAMP's generated inputs. */
+    u32 endpoint_distance_cap = 0;
+
+    static LabyrinthParams
+    small(u32 paths = 100)
+    {
+        return {16, 16, 3, paths, 0};
+    }
+
+    static LabyrinthParams
+    medium(u32 paths = 100)
+    {
+        return {32, 32, 3, paths, 0};
+    }
+
+    static LabyrinthParams
+    large(u32 paths = 100)
+    {
+        return {128, 128, 3, paths, 0};
+    }
+
+    u32 cells() const { return x * y * z; }
+
+    u32
+    distanceCap() const
+    {
+        return endpoint_distance_cap ? endpoint_distance_cap
+                                     : x / 2 + y / 2 + z;
+    }
+
+    /** Upper bound on a routed path's cell count. */
+    u32
+    maxPathCells() const
+    {
+        return std::min(cells(), 4 * (x + y + z) + 64);
+    }
+};
+
+class Labyrinth : public runtime::Workload
+{
+  public:
+    explicit Labyrinth(const LabyrinthParams &params);
+
+    const char *name() const override;
+    void configure(core::StmConfig &cfg) const override;
+    void setup(sim::Dpu &dpu, core::Stm &stm) override;
+    void tasklet(sim::DpuContext &ctx, core::Stm &stm) override;
+    void verify(sim::Dpu &dpu, core::Stm &stm) override;
+    u64 appOps() const override;
+    std::map<std::string, double> extraMetrics() const override;
+
+    u64 routedPaths() const { return routed_count_; }
+    u64 failedPaths() const { return failed_count_; }
+
+    /** Untimed host-side grid peek (rendering / inspection). */
+    u32
+    gridValue(sim::Dpu &dpu, u32 cell) const
+    {
+        return grid_.peek(dpu, cell);
+    }
+
+  private:
+    struct Job
+    {
+        u32 src = 0;
+        u32 dst = 0;
+    };
+
+    u32
+    cellIndex(u32 cx, u32 cy, u32 cz) const
+    {
+        return (cz * params_.y + cy) * params_.x + cx;
+    }
+
+    void cellCoords(u32 index, u32 &cx, u32 &cy, u32 &cz) const;
+
+    /** Neighbors of @p index into @p out; returns count (<= 6). */
+    unsigned neighbors(u32 index, u32 *out) const;
+
+    /** Snapshot the shared grid into @p local, charging the DMA cost. */
+    void copyGrid(sim::DpuContext &ctx, std::vector<u32> &local);
+
+    /**
+     * Lee expansion + backtrack on @p local. Returns the path
+     * (src..dst inclusive) or empty when unroutable.
+     */
+    std::vector<u32> route(sim::DpuContext &ctx, std::vector<u32> &local,
+                           const Job &job);
+
+    void runJob(sim::DpuContext &ctx, core::Stm &stm, u32 job_index);
+
+    LabyrinthParams params_;
+    sim::Dpu *dpu_ = nullptr;
+    runtime::SharedArray32 grid_;
+    runtime::TxQueue queue_;
+    std::vector<Job> jobs_;
+    std::vector<u8> routed_;
+    u64 routed_count_ = 0;
+    u64 failed_count_ = 0;
+    // Scratch distance field reused across jobs (host-side image of the
+    // tasklet-private MRAM grid copy).
+    std::vector<std::vector<u32>> scratch_;
+};
+
+} // namespace pimstm::workloads
+
+#endif // PIMSTM_WORKLOADS_LABYRINTH_HH

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Linked-List — the paper's concurrent sorted linked list (§4.1).
+ *
+ * A set implemented as a sorted singly-linked list with a head
+ * sentinel; add / remove / contains are each one transaction. The low
+ * contention (LC) workload is 90% contains; high contention (HC) is
+ * 50%. Adds and removes alternate so the list size stays near its
+ * initial 10 elements. Each tasklet performs 100 operations.
+ *
+ * Nodes live in a simulated-MRAM pool; each tasklet recycles removed
+ * nodes through a private stash. Traversals by concurrent invisible-
+ * read transactions can wander across recycled nodes; a step bound
+ * converts a (theoretically possible) stale cycle into a retry.
+ */
+
+#ifndef PIMSTM_WORKLOADS_LINKEDLIST_HH
+#define PIMSTM_WORKLOADS_LINKEDLIST_HH
+
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "runtime/shared_array.hh"
+
+namespace pimstm::workloads
+{
+
+struct LinkedListParams
+{
+    /** Fraction of contains (read-only) operations. */
+    double contains_ratio = 0.9;
+    /** Operations per tasklet. */
+    u32 ops_per_tasklet = 100;
+    /** Initial list size. */
+    u32 initial_size = 10;
+    /** Key universe [0, value_range). */
+    u32 value_range = 32;
+    /** Tasklets the node pool must provision for. */
+    u32 max_tasklets = 24;
+
+    static LinkedListParams
+    lowContention(u32 ops = 100)
+    {
+        LinkedListParams p;
+        p.contains_ratio = 0.9;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+
+    static LinkedListParams
+    highContention(u32 ops = 100)
+    {
+        LinkedListParams p;
+        p.contains_ratio = 0.5;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+
+    u32
+    poolNodes() const
+    {
+        return initial_size + max_tasklets * ops_per_tasklet + 1;
+    }
+};
+
+class LinkedList : public runtime::Workload
+{
+  public:
+    explicit LinkedList(const LinkedListParams &params)
+        : params_(params)
+    {}
+
+    const char *
+    name() const override
+    {
+        return params_.contains_ratio >= 0.75 ? "Linked-List LC"
+                                              : "Linked-List HC";
+    }
+
+    void
+    configure(core::StmConfig &cfg) const override
+    {
+        // A traversal reads two words per visited node; bound by the
+        // step limit plus slack for the update itself.
+        cfg.max_read_set = 2 * stepBound() + 16;
+        cfg.max_write_set = 8;
+        cfg.data_words_hint = params_.poolNodes() * 2;
+    }
+
+    void
+    setup(sim::Dpu &dpu, core::Stm &) override
+    {
+        // Node i occupies words [2i] = value, [2i+1] = next address
+        // (0 == null; the pool starts at a non-zero offset so address 0
+        // is never a real node).
+        dpu.mram().alloc(8); // guard: keep node addresses non-zero
+        pool_ = runtime::SharedArray32(dpu, sim::Tier::Mram,
+                                       params_.poolNodes() * 2);
+
+        stashes_.assign(params_.max_tasklets, {});
+        add_ok_.assign(params_.max_tasklets, 0);
+        remove_ok_.assign(params_.max_tasklets, 0);
+
+        // Node 0 is the head sentinel.
+        u32 next_free = 1;
+        head_ = nodeAddr(0);
+        pool_.poke(dpu, 0, 0);
+        pool_.poke(dpu, 1, 0);
+
+        // Initial elements: evenly spaced keys, densest possible chain.
+        u32 prev = 0;
+        for (u32 i = 0; i < params_.initial_size; ++i) {
+            const u32 node = next_free++;
+            const u32 value =
+                (i + 1) * params_.value_range / (params_.initial_size + 1);
+            pool_.poke(dpu, node * 2, value);
+            pool_.poke(dpu, node * 2 + 1, 0);
+            pool_.poke(dpu, prev * 2 + 1, nodeAddr(node));
+            prev = node;
+        }
+
+        // Remaining nodes are distributed to per-tasklet stashes.
+        const u32 per_tasklet =
+            (params_.poolNodes() - next_free) / params_.max_tasklets;
+        for (u32 t = 0; t < params_.max_tasklets; ++t)
+            for (u32 i = 0; i < per_tasklet; ++i)
+                stashes_[t].push_back(next_free++);
+    }
+
+    void
+    tasklet(sim::DpuContext &ctx, core::Stm &stm) override
+    {
+        const unsigned me = ctx.taskletId();
+        bool next_is_add = (me % 2) == 0; // global add/remove balance
+        for (u32 op = 0; op < params_.ops_per_tasklet; ++op) {
+            const u32 value =
+                static_cast<u32>(ctx.rng().below(params_.value_range));
+            if (ctx.rng().chance(params_.contains_ratio)) {
+                contains(ctx, stm, value);
+            } else if (next_is_add) {
+                if (add(ctx, stm, value))
+                    ++add_ok_[me];
+                next_is_add = false;
+            } else {
+                if (remove(ctx, stm, value))
+                    ++remove_ok_[me];
+                next_is_add = true;
+            }
+        }
+    }
+
+    void
+    verify(sim::Dpu &dpu, core::Stm &) override
+    {
+        // Walk the list host-side: sorted, acyclic, size consistent
+        // with the successful-operation counts.
+        u64 adds = 0, removes = 0;
+        for (u32 t = 0; t < params_.max_tasklets; ++t) {
+            adds += add_ok_[t];
+            removes += remove_ok_[t];
+        }
+        const u64 expected_size = params_.initial_size + adds - removes;
+
+        u64 size = 0;
+        s64 prev_value = -1;
+        u32 cur = pool_.peek(dpu, 1); // head->next
+        while (cur != 0) {
+            fatalIf(size > params_.poolNodes(), "linked list has a cycle");
+            const u32 idx = nodeIndex(cur);
+            const u32 value = pool_.peek(dpu, idx * 2);
+            fatalIf(static_cast<s64>(value) <= prev_value,
+                    "linked list not strictly sorted at node ", idx);
+            prev_value = value;
+            cur = pool_.peek(dpu, idx * 2 + 1);
+            ++size;
+        }
+        fatalIf(size != expected_size, "linked list size ", size,
+                " != expected ", expected_size);
+    }
+
+    u64
+    appOps() const override
+    {
+        u64 ops = 0;
+        for (u32 t = 0; t < params_.max_tasklets; ++t)
+            ops += add_ok_[t] + remove_ok_[t];
+        return ops;
+    }
+
+  private:
+    u32
+    stepBound() const
+    {
+        // The list hovers around initial_size; transient growth is
+        // bounded by one in-flight add per tasklet.
+        return params_.initial_size + params_.max_tasklets + 8;
+    }
+
+    sim::Addr
+    nodeAddr(u32 index) const
+    {
+        return pool_.at(index * 2);
+    }
+
+    u32
+    nodeIndex(sim::Addr a) const
+    {
+        return static_cast<u32>((a - pool_.base()) / 8);
+    }
+
+    /** Find (prev, cur) such that cur is the first node with
+     * value >= v; cur == 0 when none. Retries on a step-bound trip. */
+    void
+    locate(core::TxHandle &tx, u32 v, sim::Addr &prev, sim::Addr &cur)
+    {
+        prev = head_;
+        cur = tx.read(head_ + 4);
+        u32 steps = 0;
+        while (cur != 0) {
+            if (++steps > stepBound())
+                tx.retry(); // stale traversal across recycled nodes
+            const u32 value = tx.read(cur);
+            if (value >= v)
+                return;
+            prev = cur;
+            cur = tx.read(cur + 4);
+        }
+    }
+
+    bool
+    contains(sim::DpuContext &ctx, core::Stm &stm, u32 v)
+    {
+        bool found = false;
+        core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+            sim::Addr prev, cur;
+            locate(tx, v, prev, cur);
+            found = cur != 0 && tx.read(cur) == v;
+        });
+        return found;
+    }
+
+    bool
+    add(sim::DpuContext &ctx, core::Stm &stm, u32 v)
+    {
+        const unsigned me = ctx.taskletId();
+        if (stashes_[me].empty())
+            fatal("linked-list node stash exhausted for tasklet ", me);
+        const u32 node = stashes_[me].back();
+        bool inserted = false;
+        core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+            sim::Addr prev, cur;
+            locate(tx, v, prev, cur);
+            if (cur != 0 && tx.read(cur) == v) {
+                inserted = false;
+                return; // already present
+            }
+            tx.write(nodeAddr(node), v);
+            tx.write(nodeAddr(node) + 4, cur);
+            tx.write(prev + 4, nodeAddr(node));
+            inserted = true;
+        });
+        if (inserted)
+            stashes_[me].pop_back();
+        return inserted;
+    }
+
+    bool
+    remove(sim::DpuContext &ctx, core::Stm &stm, u32 v)
+    {
+        const unsigned me = ctx.taskletId();
+        bool removed = false;
+        u32 victim = 0;
+        core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+            sim::Addr prev, cur;
+            locate(tx, v, prev, cur);
+            if (cur == 0 || tx.read(cur) != v) {
+                removed = false;
+                return;
+            }
+            const u32 next = tx.read(cur + 4);
+            tx.write(prev + 4, next);
+            victim = nodeIndex(cur);
+            removed = true;
+        });
+        if (removed)
+            stashes_[me].push_back(victim);
+        return removed;
+    }
+
+    LinkedListParams params_;
+    runtime::SharedArray32 pool_;
+    sim::Addr head_ = 0;
+    std::vector<std::vector<u32>> stashes_;
+    std::vector<u64> add_ok_;
+    std::vector<u64> remove_ok_;
+};
+
+} // namespace pimstm::workloads
+
+#endif // PIMSTM_WORKLOADS_LINKEDLIST_HH

@@ -1,0 +1,278 @@
+#include "workloads/skiplist.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace pimstm::workloads
+{
+
+void
+SkipList::configure(core::StmConfig &cfg) const
+{
+    // Balanced towers keep traversals logarithmic; the step bound in
+    // locate() turns degenerate stale traversals into retries well
+    // before this capacity is reached.
+    cfg.max_read_set = 512;
+    cfg.max_write_set = 4 * params_.max_height + 8;
+    cfg.data_words_hint = params_.poolNodes() * params_.nodeWords();
+}
+
+u32
+SkipList::heightFor(u32 value) const
+{
+    // Deterministic geometric heights: the structure is identical
+    // across runs, seeds and STMs.
+    u32 h = value * 2654435761u;
+    h ^= h >> 15;
+    u32 height = 1;
+    while ((h & 1) && height < params_.max_height) {
+        ++height;
+        h >>= 1;
+    }
+    return height;
+}
+
+sim::Addr
+SkipList::nodeAddr(u32 index) const
+{
+    return pool_.at(static_cast<size_t>(index) * params_.nodeWords());
+}
+
+u32
+SkipList::nodeIndex(sim::Addr a) const
+{
+    return static_cast<u32>((a - pool_.base()) /
+                            (params_.nodeWords() * 4));
+}
+
+void
+SkipList::setup(sim::Dpu &dpu, core::Stm &)
+{
+    dpu.mram().alloc(8); // keep node addresses non-zero
+    pool_ = runtime::SharedArray32(
+        dpu, sim::Tier::Mram,
+        static_cast<size_t>(params_.poolNodes()) * params_.nodeWords());
+
+    stashes_.assign(params_.max_tasklets, {});
+    add_ok_.assign(params_.max_tasklets, 0);
+    remove_ok_.assign(params_.max_tasklets, 0);
+
+    // Node 0: head sentinel with a full-height tower.
+    head_index_ = 0;
+    const u32 words = params_.nodeWords();
+    pool_.poke(dpu, 0, 0);          // head value (unused)
+    pool_.poke(dpu, 1, params_.max_height);
+    for (u32 l = 0; l < params_.max_height; ++l)
+        pool_.poke(dpu, 2 + l, 0);
+
+    // Initial elements: evenly spaced keys, linked at every level of
+    // their deterministic towers.
+    u32 next_free = 1;
+    std::vector<u32> level_tail(params_.max_height, 0); // node index
+    for (u32 i = 0; i < params_.initial_size; ++i) {
+        const u32 node = next_free++;
+        const u32 value =
+            (i + 1) * params_.value_range / (params_.initial_size + 1);
+        const u32 height = heightFor(value);
+        pool_.poke(dpu, node * words, value);
+        pool_.poke(dpu, node * words + 1, height);
+        for (u32 l = 0; l < params_.max_height; ++l) {
+            if (l < height) {
+                pool_.poke(dpu, node * words + 2 + l, 0);
+                // Link the previous node of this level to us.
+                const u32 tail = level_tail[l];
+                pool_.poke(dpu, tail * words + 2 + l, nodeAddr(node));
+                level_tail[l] = node;
+            }
+        }
+    }
+
+    const u32 per_tasklet =
+        (params_.poolNodes() - next_free) / params_.max_tasklets;
+    for (u32 t = 0; t < params_.max_tasklets; ++t)
+        for (u32 i = 0; i < per_tasklet; ++i)
+            stashes_[t].push_back(next_free++);
+}
+
+sim::Addr
+SkipList::locate(core::TxHandle &tx, u32 value,
+                 std::vector<sim::Addr> &preds)
+{
+    preds.assign(params_.max_height, 0);
+    sim::Addr cur = nodeAddr(head_index_);
+    u32 steps = 0;
+    const u32 bound = 4 * params_.max_height +
+                      2 * (params_.initial_size + params_.max_tasklets);
+    for (u32 level = params_.max_height; level-- > 0;) {
+        for (;;) {
+            if (++steps > bound)
+                tx.retry(); // stale traversal over recycled nodes
+            const sim::Addr next = tx.read(cur + 8 + level * 4);
+            if (next == 0 || tx.read(next) >= value)
+                break;
+            cur = next;
+        }
+        preds[level] = cur;
+    }
+    return tx.read(preds[0] + 8);
+}
+
+bool
+SkipList::contains(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    bool found = false;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        const sim::Addr cand = locate(tx, value, preds);
+        found = cand != 0 && tx.read(cand) == value;
+    });
+    return found;
+}
+
+bool
+SkipList::add(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    const unsigned me = ctx.taskletId();
+    fatalIf(stashes_[me].empty(), "skip-list stash exhausted");
+    const u32 node = stashes_[me].back();
+    const u32 height = heightFor(value);
+
+    bool inserted = false;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        const sim::Addr cand = locate(tx, value, preds);
+        if (cand != 0 && tx.read(cand) == value) {
+            inserted = false;
+            return;
+        }
+        tx.write(valueAddr(node), value);
+        tx.write(heightAddr(node), height);
+        for (u32 l = 0; l < height; ++l) {
+            const sim::Addr succ = tx.read(preds[l] + 8 + l * 4);
+            tx.write(nextAddr(node, l), succ);
+            tx.write(preds[l] + 8 + l * 4, nodeAddr(node));
+        }
+        inserted = true;
+    });
+    if (inserted)
+        stashes_[me].pop_back();
+    return inserted;
+}
+
+bool
+SkipList::remove(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    const unsigned me = ctx.taskletId();
+    bool removed = false;
+    u32 victim = 0;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        const sim::Addr cand = locate(tx, value, preds);
+        if (cand == 0 || tx.read(cand) != value) {
+            removed = false;
+            return;
+        }
+        const u32 height = tx.read(cand + 4);
+        for (u32 l = 0; l < height; ++l) {
+            // preds[l] may precede other nodes below cand's height at
+            // upper levels; only unlink where cand is the successor.
+            const sim::Addr succ_of_pred = tx.read(preds[l] + 8 + l * 4);
+            if (succ_of_pred == cand) {
+                tx.write(preds[l] + 8 + l * 4,
+                         tx.read(cand + 8 + l * 4));
+            }
+        }
+        victim = nodeIndex(cand);
+        removed = true;
+    });
+    if (removed)
+        stashes_[me].push_back(victim);
+    return removed;
+}
+
+void
+SkipList::tasklet(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const unsigned me = ctx.taskletId();
+    bool next_is_add = (me % 2) == 0;
+    for (u32 op = 0; op < params_.ops_per_tasklet; ++op) {
+        const u32 value =
+            static_cast<u32>(ctx.rng().below(params_.value_range));
+        if (ctx.rng().chance(params_.contains_ratio)) {
+            contains(ctx, stm, value);
+        } else if (next_is_add) {
+            if (add(ctx, stm, value))
+                ++add_ok_[me];
+            next_is_add = false;
+        } else {
+            if (remove(ctx, stm, value))
+                ++remove_ok_[me];
+            next_is_add = true;
+        }
+    }
+}
+
+void
+SkipList::verify(sim::Dpu &dpu, core::Stm &)
+{
+    u64 adds = 0, removes = 0;
+    for (u32 t = 0; t < params_.max_tasklets; ++t) {
+        adds += add_ok_[t];
+        removes += remove_ok_[t];
+    }
+    const u64 expected_size = params_.initial_size + adds - removes;
+    const u32 words = params_.nodeWords();
+
+    // Level 0: strictly sorted, exact size.
+    std::set<u32> level0_values;
+    u64 size = 0;
+    s64 prev = -1;
+    u32 cur = pool_.peek(dpu, head_index_ * words + 2);
+    while (cur != 0) {
+        fatalIf(size > params_.poolNodes(), "skip list level-0 cycle");
+        const u32 idx = nodeIndex(cur);
+        const u32 value = pool_.peek(dpu, idx * words);
+        fatalIf(static_cast<s64>(value) <= prev,
+                "skip list not sorted at node ", idx);
+        prev = value;
+        level0_values.insert(value);
+        cur = pool_.peek(dpu, idx * words + 2);
+        ++size;
+    }
+    fatalIf(size != expected_size, "skip list size ", size,
+            " != expected ", expected_size);
+
+    // Upper levels: sorted sublists of level 0, and every node's
+    // height admits the level it appears on.
+    for (u32 l = 1; l < params_.max_height; ++l) {
+        u64 steps = 0;
+        prev = -1;
+        cur = pool_.peek(dpu, head_index_ * words + 2 + l);
+        while (cur != 0) {
+            fatalIf(++steps > size + 1, "skip list level ", l, " cycle");
+            const u32 idx = nodeIndex(cur);
+            const u32 value = pool_.peek(dpu, idx * words);
+            const u32 height = pool_.peek(dpu, idx * words + 1);
+            fatalIf(height <= l, "node on level ", l,
+                    " with height ", height);
+            fatalIf(static_cast<s64>(value) <= prev,
+                    "skip list level ", l, " not sorted");
+            fatalIf(level0_values.count(value) == 0,
+                    "level ", l, " node missing from level 0");
+            prev = value;
+            cur = pool_.peek(dpu, idx * words + 2 + l);
+        }
+    }
+}
+
+u64
+SkipList::appOps() const
+{
+    u64 ops = 0;
+    for (u32 t = 0; t < params_.max_tasklets; ++t)
+        ops += add_ok_[t] + remove_ok_[t];
+    return ops;
+}
+
+} // namespace pimstm::workloads

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Skip-List — an extension workload beyond the paper's benchmark set:
+ * a concurrent ordered set implemented as a skip list over PIM-STM,
+ * the "richer concurrent data structures on top of PIM-STM" direction
+ * of the paper's conclusion. Compared to the Linked-List benchmark,
+ * traversals are O(log n), so transactions have much smaller read
+ * sets at equal set sizes — a qualitatively different STM stress
+ * (bench/ext_skiplist.cc contrasts the two).
+ *
+ * Node layout in simulated memory (words):
+ *   [0] value   [1] height   [2..2+height-1] next pointer per level
+ * Tower heights are a deterministic function of the key, so the
+ * structure is identical across runs and STMs.
+ */
+
+#ifndef PIMSTM_WORKLOADS_SKIPLIST_HH
+#define PIMSTM_WORKLOADS_SKIPLIST_HH
+
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "runtime/shared_array.hh"
+
+namespace pimstm::workloads
+{
+
+struct SkipListParams
+{
+    /** Fraction of contains (read-only) operations. */
+    double contains_ratio = 0.9;
+    u32 ops_per_tasklet = 100;
+    u32 initial_size = 64;
+    u32 value_range = 256;
+    u32 max_tasklets = 24;
+    /** Maximum tower height (level count). */
+    u32 max_height = 8;
+
+    static SkipListParams
+    lowContention(u32 ops = 100)
+    {
+        SkipListParams p;
+        p.contains_ratio = 0.9;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+
+    static SkipListParams
+    highContention(u32 ops = 100)
+    {
+        SkipListParams p;
+        p.contains_ratio = 0.5;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+
+    u32
+    poolNodes() const
+    {
+        return initial_size + max_tasklets * ops_per_tasklet + 2;
+    }
+
+    /** Words per node slot (worst-case height). */
+    u32
+    nodeWords() const
+    {
+        return 2 + max_height;
+    }
+};
+
+class SkipList : public runtime::Workload
+{
+  public:
+    explicit SkipList(const SkipListParams &params)
+        : params_(params)
+    {}
+
+    const char *
+    name() const override
+    {
+        return params_.contains_ratio >= 0.75 ? "Skip-List LC"
+                                              : "Skip-List HC";
+    }
+
+    void configure(core::StmConfig &cfg) const override;
+    void setup(sim::Dpu &dpu, core::Stm &stm) override;
+    void tasklet(sim::DpuContext &ctx, core::Stm &stm) override;
+    void verify(sim::Dpu &dpu, core::Stm &stm) override;
+    u64 appOps() const override;
+
+    /** Deterministic tower height for @p value in [1, max_height]. */
+    u32 heightFor(u32 value) const;
+
+  private:
+    sim::Addr nodeAddr(u32 index) const;
+    u32 nodeIndex(sim::Addr a) const;
+
+    /** Word addresses within a node. */
+    sim::Addr valueAddr(u32 index) const { return nodeAddr(index); }
+    sim::Addr heightAddr(u32 index) const { return nodeAddr(index) + 4; }
+    sim::Addr
+    nextAddr(u32 index, u32 level) const
+    {
+        return nodeAddr(index) + 8 + level * 4;
+    }
+
+    /**
+     * Find the predecessor node index at every level for @p value.
+     * Fills @p preds (size max_height). Returns the node at level 0
+     * after preds[0] (candidate match), or 0 when none.
+     */
+    sim::Addr locate(core::TxHandle &tx, u32 value,
+                     std::vector<sim::Addr> &preds);
+
+    bool contains(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+    bool add(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+    bool remove(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+
+    SkipListParams params_;
+    runtime::SharedArray32 pool_;
+    u32 head_index_ = 0;
+    std::vector<std::vector<u32>> stashes_;
+    std::vector<u64> add_ok_;
+    std::vector<u64> remove_ok_;
+};
+
+} // namespace pimstm::workloads
+
+#endif // PIMSTM_WORKLOADS_SKIPLIST_HH

@@ -1,0 +1,224 @@
+#include "workloads/vacation.hh"
+
+#include "util/logging.hh"
+
+namespace pimstm::workloads
+{
+
+void
+Vacation::configure(core::StmConfig &cfg) const
+{
+    // makeReservation: query_range x 3 tables x 2 words, plus slot
+    // scan; deleteCustomer: all slots + their items.
+    cfg.max_read_set = 2 * kNumTables * params_.query_range +
+                       3 * params_.slots_per_customer + 16;
+    cfg.max_write_set = 2 * kNumTables + params_.slots_per_customer + 8;
+    cfg.data_words_hint =
+        kNumTables * params_.items_per_table * 2 +
+        params_.customers * params_.slots_per_customer;
+}
+
+void
+Vacation::setup(sim::Dpu &dpu, core::Stm &)
+{
+    Rng rng(deriveSeed(dpu.config().seed, 0x7ac47101u));
+    for (u32 t = 0; t < kNumTables; ++t) {
+        free_[t] = runtime::SharedArray32(dpu, sim::Tier::Mram,
+                                          params_.items_per_table);
+        price_[t] = runtime::SharedArray32(dpu, sim::Tier::Mram,
+                                           params_.items_per_table);
+        free_[t].fill(dpu, params_.initial_free);
+        for (u32 i = 0; i < params_.items_per_table; ++i)
+            price_[t].poke(dpu, i,
+                           static_cast<u32>(rng.range(50, 500)));
+    }
+    slots_ = runtime::SharedArray32(
+        dpu, sim::Tier::Mram,
+        static_cast<size_t>(params_.customers) *
+            params_.slots_per_customer);
+    slots_.fill(dpu, kEmptySlot);
+
+    reservations_ok_.assign(params_.max_tasklets, 0);
+    deletes_ok_.assign(params_.max_tasklets, 0);
+    updates_ok_.assign(params_.max_tasklets, 0);
+}
+
+bool
+Vacation::makeReservation(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 customer =
+        static_cast<u32>(ctx.rng().below(params_.customers));
+    // Pre-draw the queried items so retries look at the same set.
+    u32 queried[kNumTables][16];
+    panicIf(params_.query_range > 16, "query_range too large");
+    for (u32 t = 0; t < kNumTables; ++t)
+        for (u32 q = 0; q < params_.query_range; ++q)
+            queried[t][q] = static_cast<u32>(
+                ctx.rng().below(params_.items_per_table));
+
+    bool reserved = false;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        reserved = false;
+        // Cheapest available item per table.
+        u32 chosen[kNumTables];
+        bool found_all = true;
+        for (u32 t = 0; t < kNumTables; ++t) {
+            u32 best_item = kEmptySlot;
+            u32 best_price = 0;
+            for (u32 q = 0; q < params_.query_range; ++q) {
+                const u32 item = queried[t][q];
+                const u32 avail = tx.read(freeAddr(t, item));
+                if (avail == 0)
+                    continue;
+                const u32 p = tx.read(priceAddr(t, item));
+                if (best_item == kEmptySlot || p < best_price) {
+                    best_item = item;
+                    best_price = p;
+                }
+            }
+            if (best_item == kEmptySlot) {
+                found_all = false;
+                break;
+            }
+            chosen[t] = best_item;
+        }
+        if (!found_all)
+            return; // nothing available: committed no-op
+
+        // Three free customer slots.
+        u32 free_slots[kNumTables];
+        u32 found_slots = 0;
+        for (u32 s = 0;
+             s < params_.slots_per_customer && found_slots < kNumTables;
+             ++s) {
+            if (tx.read(slotAddr(customer, s)) == kEmptySlot)
+                free_slots[found_slots++] = s;
+        }
+        if (found_slots < kNumTables)
+            return; // customer is fully booked: committed no-op
+
+        for (u32 t = 0; t < kNumTables; ++t) {
+            const u32 avail = tx.read(freeAddr(t, chosen[t]));
+            tx.write(freeAddr(t, chosen[t]), avail - 1);
+            tx.write(slotAddr(customer, free_slots[t]),
+                     encodeSlot(t, chosen[t]));
+        }
+        reserved = true;
+    });
+    return reserved;
+}
+
+bool
+Vacation::deleteCustomer(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 customer =
+        static_cast<u32>(ctx.rng().below(params_.customers));
+    bool released_any = false;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        released_any = false;
+        for (u32 s = 0; s < params_.slots_per_customer; ++s) {
+            const u32 v = tx.read(slotAddr(customer, s));
+            if (v == kEmptySlot)
+                continue;
+            const u32 t = v >> 24;
+            const u32 item = v & 0xffffffu;
+            tx.write(freeAddr(t, item),
+                     tx.read(freeAddr(t, item)) + 1);
+            tx.write(slotAddr(customer, s), kEmptySlot);
+            released_any = true;
+        }
+    });
+    return released_any;
+}
+
+void
+Vacation::updateTables(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 t = static_cast<u32>(ctx.rng().below(kNumTables));
+    const u32 item =
+        static_cast<u32>(ctx.rng().below(params_.items_per_table));
+    const u32 new_price = static_cast<u32>(ctx.rng().range(50, 500));
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        tx.write(priceAddr(t, item), new_price);
+    });
+}
+
+void
+Vacation::tasklet(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const unsigned me = ctx.taskletId();
+    for (u32 op = 0; op < params_.ops_per_tasklet; ++op) {
+        const double dice = ctx.rng().uniform();
+        if (dice < params_.reserve_ratio) {
+            if (makeReservation(ctx, stm))
+                ++reservations_ok_[me];
+        } else if (dice < params_.reserve_ratio + params_.delete_ratio) {
+            if (deleteCustomer(ctx, stm))
+                ++deletes_ok_[me];
+        } else {
+            updateTables(ctx, stm);
+            ++updates_ok_[me];
+        }
+    }
+}
+
+void
+Vacation::verify(sim::Dpu &dpu, core::Stm &)
+{
+    // Per-item: reservations outstanding must equal consumed
+    // availability; slots must reference valid items.
+    std::vector<std::vector<u32>> referenced(
+        kNumTables, std::vector<u32>(params_.items_per_table, 0));
+    for (u32 c = 0; c < params_.customers; ++c) {
+        for (u32 s = 0; s < params_.slots_per_customer; ++s) {
+            const u32 v = slots_.peek(
+                dpu, static_cast<size_t>(c) * params_.slots_per_customer +
+                         s);
+            if (v == kEmptySlot)
+                continue;
+            const u32 t = v >> 24;
+            const u32 item = v & 0xffffffu;
+            fatalIf(t >= kNumTables || item >= params_.items_per_table,
+                    "Vacation slot references bogus item");
+            ++referenced[t][item];
+        }
+    }
+    for (u32 t = 0; t < kNumTables; ++t) {
+        for (u32 i = 0; i < params_.items_per_table; ++i) {
+            const u32 avail = free_[t].peek(dpu, i);
+            fatalIf(avail > params_.initial_free,
+                    "Vacation availability exceeded initial stock");
+            fatalIf(avail + referenced[t][i] != params_.initial_free,
+                    "Vacation conservation broken: table ", t, " item ",
+                    i, " free ", avail, " + referenced ",
+                    referenced[t][i], " != ", params_.initial_free);
+        }
+    }
+}
+
+u64
+Vacation::appOps() const
+{
+    u64 n = 0;
+    for (u32 t = 0; t < params_.max_tasklets; ++t)
+        n += reservations_ok_[t] + deletes_ok_[t] + updates_ok_[t];
+    return n;
+}
+
+std::map<std::string, double>
+Vacation::extraMetrics() const
+{
+    u64 r = 0, d = 0, u = 0;
+    for (u32 t = 0; t < params_.max_tasklets; ++t) {
+        r += reservations_ok_[t];
+        d += deletes_ok_[t];
+        u += updates_ok_[t];
+    }
+    return {
+        {"reservations", static_cast<double>(r)},
+        {"deletes", static_cast<double>(d)},
+        {"updates", static_cast<double>(u)},
+    };
+}
+
+} // namespace pimstm::workloads

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Vacation — an extension workload: a simplified port of STAMP's
+ * travel-reservation benchmark (the suite the paper takes KMeans and
+ * Labyrinth from). An in-memory reservation system with three resource
+ * tables (cars, flights, rooms) and a customer table, all in MRAM;
+ * every user action is one transaction of a dozen-plus reads and a
+ * handful of writes — the "medium transaction" point between
+ * ArrayBench B (tiny) and Labyrinth (huge) on the STM design axes.
+ *
+ * Actions (mix controlled by parameters, as in STAMP):
+ *  - makeReservation: scan `query_range` random items in each of the
+ *    three tables, pick the cheapest available one per table, reserve
+ *    it for a random customer (decrement availability, fill one of the
+ *    customer's reservation slots).
+ *  - deleteCustomer: release every reservation a customer holds.
+ *  - updateTables: re-price / restock random items.
+ *
+ * Verified invariant: for every item, initial availability minus
+ * final availability equals the live reservation slots referencing it.
+ */
+
+#ifndef PIMSTM_WORKLOADS_VACATION_HH
+#define PIMSTM_WORKLOADS_VACATION_HH
+
+#include "runtime/driver.hh"
+#include "runtime/shared_array.hh"
+
+namespace pimstm::workloads
+{
+
+struct VacationParams
+{
+    /** Items per resource table (cars / flights / rooms). */
+    u32 items_per_table = 64;
+    /** Initial availability per item. */
+    u32 initial_free = 8;
+    /** Customers. */
+    u32 customers = 64;
+    /** Reservation slots per customer. */
+    u32 slots_per_customer = 8;
+    /** Items scanned per table by one makeReservation. */
+    u32 query_range = 4;
+    /** Action mix (remainder = updateTables). */
+    double reserve_ratio = 0.8;
+    double delete_ratio = 0.1;
+    u32 ops_per_tasklet = 60;
+    u32 max_tasklets = 24;
+
+    /** STAMP-like low contention: wide tables, mostly reservations. */
+    static VacationParams
+    lowContention(u32 ops = 60)
+    {
+        VacationParams p;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+
+    /** High contention: few hot items, more mutation. */
+    static VacationParams
+    highContention(u32 ops = 60)
+    {
+        VacationParams p;
+        p.items_per_table = 8;
+        p.customers = 16;
+        p.query_range = 4;
+        p.reserve_ratio = 0.6;
+        p.delete_ratio = 0.25;
+        p.ops_per_tasklet = ops;
+        return p;
+    }
+};
+
+class Vacation : public runtime::Workload
+{
+  public:
+    static constexpr u32 kNumTables = 3; // cars, flights, rooms
+    static constexpr u32 kEmptySlot = 0xffffffffu;
+
+    explicit Vacation(const VacationParams &params)
+        : params_(params)
+    {}
+
+    const char *
+    name() const override
+    {
+        return params_.items_per_table <= 16 ? "Vacation HC"
+                                             : "Vacation LC";
+    }
+
+    void configure(core::StmConfig &cfg) const override;
+    void setup(sim::Dpu &dpu, core::Stm &stm) override;
+    void tasklet(sim::DpuContext &ctx, core::Stm &stm) override;
+    void verify(sim::Dpu &dpu, core::Stm &stm) override;
+    u64 appOps() const override;
+    std::map<std::string, double> extraMetrics() const override;
+
+  private:
+    /** free[] word of item @p i in table @p t. */
+    sim::Addr freeAddr(u32 t, u32 i) const { return free_[t].at(i); }
+    /** price[] word of item @p i in table @p t. */
+    sim::Addr priceAddr(u32 t, u32 i) const { return price_[t].at(i); }
+    /** Slot word: encodes (table, item) or kEmptySlot. */
+    sim::Addr
+    slotAddr(u32 customer, u32 slot) const
+    {
+        return slots_.at(static_cast<size_t>(customer) *
+                             params_.slots_per_customer +
+                         slot);
+    }
+
+    static u32
+    encodeSlot(u32 table, u32 item)
+    {
+        return (table << 24) | item;
+    }
+
+    bool makeReservation(sim::DpuContext &ctx, core::Stm &stm);
+    bool deleteCustomer(sim::DpuContext &ctx, core::Stm &stm);
+    void updateTables(sim::DpuContext &ctx, core::Stm &stm);
+
+    VacationParams params_;
+    runtime::SharedArray32 free_[kNumTables];
+    runtime::SharedArray32 price_[kNumTables];
+    runtime::SharedArray32 slots_;
+    std::vector<u64> reservations_ok_;
+    std::vector<u64> deletes_ok_;
+    std::vector<u64> updates_ok_;
+};
+
+} // namespace pimstm::workloads
+
+#endif // PIMSTM_WORKLOADS_VACATION_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the multi-DPU models and the energy model behind Figs. 7
+ * and 8: monotonicity in the DPU count, decomposition sanity, PIM
+ * system transfer-cost model, and the TDP-based energy arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hostapp/energy.hh"
+#include "hostapp/multi_dpu.hh"
+#include "sim/pim_system.hh"
+
+using namespace pimstm;
+using namespace pimstm::hostapp;
+
+namespace
+{
+
+MultiKMeansParams
+tinyKMeans()
+{
+    MultiKMeansParams p;
+    p.points_per_dpu = 240;
+    p.sample_dpus = 1;
+    return p;
+}
+
+MultiLabyrinthParams
+tinyLabyrinth()
+{
+    MultiLabyrinthParams p;
+    p.num_paths = 12;
+    p.sample_dpus = 1;
+    return p;
+}
+
+} // namespace
+
+TEST(MultiDpuKMeans, ComputeTimeConstantAcrossDpuCount)
+{
+    // Each DPU owns a fixed shard, so per-DPU compute time must not
+    // grow with the system size (the paper's core scaling argument).
+    const auto p = tinyKMeans();
+    const auto t1 = runKMeansMultiDpu(1, p);
+    const auto t100 = runKMeansMultiDpu(100, p);
+    EXPECT_DOUBLE_EQ(t1.compute_seconds, t100.compute_seconds);
+}
+
+TEST(MultiDpuKMeans, TransferAndMergeGrowWithDpus)
+{
+    const auto p = tinyKMeans();
+    const auto t10 = runKMeansMultiDpu(10, p);
+    const auto t1000 = runKMeansMultiDpu(1000, p);
+    EXPECT_GT(t1000.transfer_seconds, t10.transfer_seconds);
+    EXPECT_GE(t1000.merge_seconds, t10.merge_seconds);
+}
+
+TEST(MultiDpuKMeans, TotalIsSumOfParts)
+{
+    const auto t = runKMeansMultiDpu(8, tinyKMeans());
+    EXPECT_NEAR(t.total(),
+                t.compute_seconds + t.transfer_seconds +
+                    t.merge_seconds + t.launch_seconds,
+                1e-12);
+    EXPECT_EQ(t.dpus, 8u);
+}
+
+TEST(MultiDpuLabyrinth, ComputeConstantTransfersGrow)
+{
+    const auto p = tinyLabyrinth();
+    const auto t1 = runLabyrinthMultiDpu(1, p);
+    const auto t500 = runLabyrinthMultiDpu(500, p);
+    EXPECT_DOUBLE_EQ(t1.compute_seconds, t500.compute_seconds);
+    EXPECT_GT(t500.transfer_seconds, t1.transfer_seconds);
+}
+
+TEST(MultiDpu, RejectsZeroDpus)
+{
+    EXPECT_THROW(runKMeansMultiDpu(0, tinyKMeans()), FatalError);
+    EXPECT_THROW(runLabyrinthMultiDpu(0, tinyLabyrinth()), FatalError);
+}
+
+TEST(EnergyModel, PimScalesWithDpuFraction)
+{
+    sim::EnergyConfig cfg;
+    const double full = pimEnergyJoules(cfg, 10.0, cfg.pim_system_dpus);
+    const double half =
+        pimEnergyJoules(cfg, 10.0, cfg.pim_system_dpus / 2);
+    EXPECT_NEAR(full, cfg.pim_system_tdp_w * 10.0, 1e-9);
+    EXPECT_NEAR(half, full / 2, 1e-9);
+    // More DPUs than the system has cannot exceed full TDP.
+    EXPECT_NEAR(pimEnergyJoules(cfg, 10.0, cfg.pim_system_dpus * 2),
+                full, 1e-9);
+}
+
+TEST(EnergyModel, CpuUsesPackagePlusDram)
+{
+    sim::EnergyConfig cfg;
+    EXPECT_NEAR(cpuEnergyJoules(cfg, 2.0),
+                (cfg.cpu_package_w + cfg.cpu_dram_w) * 2.0, 1e-9);
+}
+
+TEST(EnergyModel, GainMatchesPaperArithmetic)
+{
+    sim::EnergyConfig cfg;
+    // Equal times at full scale: gain = P_cpu / P_pim.
+    const auto e = estimateEnergy(cfg, 1.0, cfg.pim_system_dpus, 1.0);
+    EXPECT_NEAR(e.gain(),
+                (cfg.cpu_package_w + cfg.cpu_dram_w) /
+                    cfg.pim_system_tdp_w,
+                1e-9);
+    // A PIM run 2x faster doubles the gain.
+    const auto e2 = estimateEnergy(cfg, 0.5, cfg.pim_system_dpus, 1.0);
+    EXPECT_NEAR(e2.gain(), 2 * e.gain(), 1e-9);
+}
+
+TEST(PimSystem, LatencyConstantsMatchPaper)
+{
+    sim::PimSystem sys(16, 2, sim::DpuConfig{}, sim::TimingConfig{},
+                       sim::HostLinkConfig{});
+    EXPECT_NEAR(sys.interDpuWordReadSeconds() * 1e6, 331.0, 1e-9);
+    EXPECT_NEAR(sys.localMramWordReadSeconds() * 1e9, 231.0, 1e-9);
+    // The headline three-orders-of-magnitude gap (§3.1).
+    const double ratio = sys.interDpuWordReadSeconds() /
+                         sys.localMramWordReadSeconds();
+    EXPECT_GT(ratio, 1000.0);
+    EXPECT_LT(ratio, 2000.0);
+}
+
+TEST(PimSystem, TransfersScaleWithDpusAndBytes)
+{
+    sim::PimSystem sys(1000, 1, sim::DpuConfig{}, sim::TimingConfig{},
+                       sim::HostLinkConfig{});
+    const double small = sys.hostToDpusSeconds(1024);
+    const double big = sys.hostToDpusSeconds(1024 * 1024);
+    EXPECT_GT(big, small);
+
+    sim::PimSystem sys2(2000, 1, sim::DpuConfig{}, sim::TimingConfig{},
+                        sim::HostLinkConfig{});
+    EXPECT_GT(sys2.hostToDpusSeconds(1024 * 1024), big);
+}
+
+TEST(PimSystem, SampleBoundsEnforced)
+{
+    EXPECT_THROW(sim::PimSystem(0, 1, sim::DpuConfig{},
+                                sim::TimingConfig{},
+                                sim::HostLinkConfig{}),
+                 FatalError);
+    EXPECT_THROW(sim::PimSystem(4, 5, sim::DpuConfig{},
+                                sim::TimingConfig{},
+                                sim::HostLinkConfig{}),
+                 FatalError);
+    sim::PimSystem ok(4, 4, sim::DpuConfig{}, sim::TimingConfig{},
+                      sim::HostLinkConfig{});
+    EXPECT_EQ(ok.simulatedDpus(), 4u);
+    EXPECT_THROW(ok.dpu(4), PanicError);
+}
+
+TEST(PimSystem, RunAllReturnsSlowestDpu)
+{
+    sim::DpuConfig cfg;
+    cfg.mram_bytes = 1 * 1024 * 1024;
+    sim::PimSystem sys(2, 2, cfg, sim::TimingConfig{},
+                       sim::HostLinkConfig{});
+    sys.dpu(0).addTasklet([](sim::DpuContext &ctx) { ctx.compute(100); });
+    sys.dpu(1).addTasklet([](sim::DpuContext &ctx) { ctx.compute(500); });
+    const double worst = sys.runAllSeconds();
+    EXPECT_NEAR(worst,
+                sim::TimingConfig{}.cyclesToSeconds(500 * 11), 1e-12);
+}

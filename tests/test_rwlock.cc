@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit and property tests for the 32-bit rw-lock word (Fig. 3 layout):
+ * mode encoding, reader bitmap/count consistency, upgrade
+ * preconditions, and add/remove round trips for all 24 tasklet ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rw_lock.hh"
+
+using namespace pimstm;
+using namespace pimstm::core::rwlock;
+
+TEST(RwLock, FreeWordIsZero)
+{
+    EXPECT_TRUE(isFree(Free));
+    EXPECT_FALSE(isRead(Free));
+    EXPECT_FALSE(isWrite(Free));
+    EXPECT_EQ(static_cast<u32>(Free), 0u);
+}
+
+TEST(RwLock, WriteModeEncodesOwner)
+{
+    for (u32 owner : {0u, 1u, 13u, 23u, 1000u}) {
+        const u32 w = makeWrite(owner);
+        EXPECT_TRUE(isWrite(w));
+        EXPECT_FALSE(isRead(w));
+        EXPECT_FALSE(isFree(w));
+        EXPECT_EQ(writeOwner(w), owner);
+    }
+}
+
+TEST(RwLock, AddReaderSetsBitAndCount)
+{
+    u32 w = Free;
+    w = addReader(w, 5);
+    EXPECT_TRUE(isRead(w));
+    EXPECT_TRUE(hasReader(w, 5));
+    EXPECT_FALSE(hasReader(w, 6));
+    EXPECT_EQ(readerCount(w), 1u);
+
+    w = addReader(w, 20);
+    EXPECT_EQ(readerCount(w), 2u);
+    EXPECT_TRUE(hasReader(w, 5));
+    EXPECT_TRUE(hasReader(w, 20));
+}
+
+TEST(RwLock, RemoveReaderRoundTrip)
+{
+    u32 w = addReader(addReader(Free, 3), 7);
+    w = removeReader(w, 3);
+    EXPECT_TRUE(isRead(w));
+    EXPECT_FALSE(hasReader(w, 3));
+    EXPECT_TRUE(hasReader(w, 7));
+    EXPECT_EQ(readerCount(w), 1u);
+    w = removeReader(w, 7);
+    EXPECT_TRUE(isFree(w));
+}
+
+TEST(RwLock, SoleReaderPredicate)
+{
+    u32 w = addReader(Free, 9);
+    EXPECT_TRUE(soleReader(w, 9));
+    EXPECT_FALSE(soleReader(w, 8));
+    w = addReader(w, 10);
+    EXPECT_FALSE(soleReader(w, 9));
+    EXPECT_FALSE(soleReader(w, 10));
+    EXPECT_FALSE(soleReader(makeWrite(9), 9));
+}
+
+TEST(RwLock, All24ReadersFit)
+{
+    u32 w = Free;
+    for (unsigned t = 0; t < 24; ++t)
+        w = addReader(w, t);
+    EXPECT_EQ(readerCount(w), 24u);
+    for (unsigned t = 0; t < 24; ++t)
+        EXPECT_TRUE(hasReader(w, t));
+    // Tear them all down again.
+    for (unsigned t = 0; t < 24; ++t)
+        w = removeReader(w, t);
+    EXPECT_TRUE(isFree(w));
+}
+
+TEST(RwLock, ReaderBitmapIsolatedFromMode)
+{
+    // Adding/removing any reader must never corrupt the mode bits.
+    for (unsigned t = 0; t < 24; ++t) {
+        const u32 w = addReader(Free, t);
+        EXPECT_EQ(mode(w), static_cast<u32>(Read));
+        EXPECT_EQ(readerBitmap(w), 1u << t);
+    }
+}
+
+TEST(RwLock, Tasklet24Rejected)
+{
+    EXPECT_THROW(addReader(Free, 24), PanicError);
+}
+
+TEST(RwLock, MisuseIsLoud)
+{
+    EXPECT_THROW(addReader(makeWrite(1), 2), PanicError);
+    EXPECT_THROW(removeReader(Free, 1), PanicError);
+    EXPECT_THROW(removeReader(makeWrite(1), 1), PanicError);
+}
+
+class RwLockBitmapProperty : public testing::TestWithParam<u32>
+{
+};
+
+TEST_P(RwLockBitmapProperty, MakeReadCountMatchesPopcount)
+{
+    const u32 bitmap = GetParam();
+    const u32 w = makeRead(bitmap);
+    EXPECT_TRUE(isRead(w));
+    EXPECT_EQ(readerBitmap(w), bitmap);
+    EXPECT_EQ(readerCount(w),
+              static_cast<u32>(__builtin_popcount(bitmap)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitmaps, RwLockBitmapProperty,
+                         testing::Values(0x1u, 0x3u, 0x800000u, 0xffffffu,
+                                         0x555555u, 0xaaaaaau, 0x10101u));

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * A serializability checker, run against every STM implementation
+ * (including the TL2 extension).
+ *
+ * Protocol: every transaction picks a few cells, reads each cell's
+ * counter and writes counter+1, recording the values it observed on
+ * its committed attempt. In any serializable execution:
+ *
+ *  1. per cell, the observed values are exactly {0, 1, ..., k-1} with
+ *     no duplicates (each increment saw a distinct predecessor), and
+ *  2. the precedence relation induced by observations — tx A precedes
+ *     tx B whenever they touched a common cell and A observed the
+ *     smaller value — must be ACYCLIC (a cycle means no serial order
+ *     can explain the observations).
+ *
+ * The checker builds the precedence graph over all committed
+ * transactions and runs a DFS cycle detection. Any lost update,
+ * dirty read or write skew the STMs could exhibit would show up as a
+ * duplicate observation or a precedence cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/stm_factory.hh"
+#include "runtime/shared_array.hh"
+
+using namespace pimstm;
+using namespace pimstm::sim;
+using namespace pimstm::core;
+using pimstm::runtime::SharedArray32;
+
+namespace
+{
+
+struct CommittedTx
+{
+    /** (cell, value observed just before our increment). */
+    std::vector<std::pair<u32, u32>> observations;
+};
+
+/** Check property 1 and build per-cell observation orderings. */
+void
+checkPerCellHistories(const std::vector<CommittedTx> &txs, u32 cells)
+{
+    // cell -> observed value -> tx index
+    std::vector<std::map<u32, size_t>> by_cell(cells);
+    for (size_t t = 0; t < txs.size(); ++t) {
+        for (const auto &[cell, value] : txs[t].observations) {
+            const auto [it, fresh] = by_cell[cell].emplace(value, t);
+            ASSERT_TRUE(fresh)
+                << "cell " << cell << ": value " << value
+                << " observed twice (lost update)";
+        }
+    }
+    for (u32 c = 0; c < cells; ++c) {
+        u32 expected = 0;
+        for (const auto &[value, tx] : by_cell[c]) {
+            ASSERT_EQ(value, expected)
+                << "cell " << c << ": observation gap at " << expected;
+            ++expected;
+        }
+    }
+}
+
+/** Check property 2: precedence graph acyclicity. */
+void
+checkAcyclicPrecedence(const std::vector<CommittedTx> &txs, u32 cells)
+{
+    // Edges: for each cell, tx observing value v precedes the tx
+    // observing v+1 (transitively closed by chaining, so consecutive
+    // edges suffice).
+    std::vector<std::map<u32, size_t>> by_cell(cells);
+    for (size_t t = 0; t < txs.size(); ++t)
+        for (const auto &[cell, value] : txs[t].observations)
+            by_cell[cell][value] = t;
+
+    std::vector<std::vector<size_t>> succ(txs.size());
+    for (u32 c = 0; c < cells; ++c) {
+        size_t prev = SIZE_MAX;
+        for (const auto &[value, tx] : by_cell[c]) {
+            if (prev != SIZE_MAX && prev != tx)
+                succ[prev].push_back(tx);
+            prev = tx;
+        }
+    }
+
+    // Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+    std::vector<u8> color(txs.size(), 0);
+    for (size_t root = 0; root < txs.size(); ++root) {
+        if (color[root] != 0)
+            continue;
+        std::vector<std::pair<size_t, size_t>> stack{{root, 0}};
+        color[root] = 1;
+        while (!stack.empty()) {
+            auto &[node, child] = stack.back();
+            if (child < succ[node].size()) {
+                const size_t next = succ[node][child++];
+                ASSERT_NE(color[next], 1)
+                    << "precedence cycle: execution not serializable";
+                if (color[next] == 0) {
+                    color[next] = 1;
+                    stack.emplace_back(next, 0);
+                }
+            } else {
+                color[node] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+struct Param
+{
+    StmKind kind;
+    MetadataTier tier;
+};
+
+std::string
+paramName(const testing::TestParamInfo<Param> &info)
+{
+    std::string s = stmKindName(info.param.kind);
+    s += info.param.tier == MetadataTier::Wram ? "_WRAM" : "_MRAM";
+    for (auto &c : s)
+        if (c == ' ')
+            c = '_';
+    return s;
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> ps;
+    for (StmKind k : allStmKindsExtended()) {
+        ps.push_back({k, MetadataTier::Mram});
+        ps.push_back({k, MetadataTier::Wram});
+    }
+    return ps;
+}
+
+class Serializability : public testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(Serializability, RandomIncrementHistoriesAreSerializable)
+{
+    constexpr u32 kCells = 12;
+    constexpr unsigned kTasklets = 8;
+    constexpr unsigned kOpsPerTasklet = 20;
+
+    DpuConfig dpu_cfg;
+    dpu_cfg.mram_bytes = 1 * 1024 * 1024;
+    dpu_cfg.seed = 2026;
+    Dpu dpu(dpu_cfg, TimingConfig{});
+
+    StmConfig cfg;
+    cfg.kind = GetParam().kind;
+    cfg.metadata_tier = GetParam().tier;
+    cfg.num_tasklets = kTasklets;
+    cfg.max_read_set = 32;
+    cfg.max_write_set = 16;
+    cfg.data_words_hint = kCells;
+    auto stm = makeStm(dpu, cfg);
+
+    SharedArray32 counters(dpu, Tier::Mram, kCells);
+    counters.fill(dpu, 0);
+
+    std::vector<std::vector<CommittedTx>> logs(kTasklets);
+    dpu.addTasklets(kTasklets, [&](DpuContext &ctx) {
+        const unsigned me = ctx.taskletId();
+        for (unsigned op = 0; op < kOpsPerTasklet; ++op) {
+            // 1-3 distinct cells per transaction.
+            const unsigned n =
+                static_cast<unsigned>(ctx.rng().range(1, 3));
+            std::vector<u32> cells;
+            while (cells.size() < n) {
+                const u32 c = static_cast<u32>(ctx.rng().below(kCells));
+                bool dup = false;
+                for (u32 x : cells)
+                    dup = dup || x == c;
+                if (!dup)
+                    cells.push_back(c);
+            }
+            CommittedTx record;
+            atomically(*stm, ctx, [&](TxHandle &tx) {
+                record.observations.clear();
+                for (const u32 c : cells) {
+                    const u32 v = tx.read(counters.at(c));
+                    tx.write(counters.at(c), v + 1);
+                    record.observations.emplace_back(c, v);
+                }
+            });
+            // atomically() returned: `record` is the committed attempt.
+            logs[me].push_back(record);
+        }
+    });
+    dpu.run();
+
+    std::vector<CommittedTx> txs;
+    for (auto &l : logs)
+        for (auto &r : l)
+            txs.push_back(std::move(r));
+    ASSERT_EQ(txs.size(), kTasklets * kOpsPerTasklet);
+
+    checkPerCellHistories(txs, kCells);
+    checkAcyclicPrecedence(txs, kCells);
+
+    // Final counters must equal the number of increments per cell.
+    std::vector<u32> expected(kCells, 0);
+    for (const auto &t : txs)
+        for (const auto &[cell, value] : t.observations)
+            ++expected[cell];
+    for (u32 c = 0; c < kCells; ++c)
+        EXPECT_EQ(counters.peek(dpu, c), expected[c]) << "cell " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, Serializability,
+                         testing::ValuesIn(allParams()), paramName);

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Deeper simulator tests: DMA transfer splitting, the random-access
+ * model, metadata-tier cost asymmetry (the WRAM-speedup mechanism of
+ * §4.2.3), reset semantics, stall accounting and the stats counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stm_factory.hh"
+#include "runtime/shared_array.hh"
+#include "sim/dpu.hh"
+
+using namespace pimstm;
+using namespace pimstm::sim;
+
+namespace
+{
+
+DpuConfig
+smallDpu()
+{
+    DpuConfig cfg;
+    cfg.mram_bytes = 1 * 1024 * 1024;
+    return cfg;
+}
+
+Cycles
+costOf(const std::function<void(DpuContext &)> &body)
+{
+    Dpu dpu(smallDpu(), TimingConfig{});
+    Cycles cost = 0;
+    dpu.addTasklet([&](DpuContext &ctx) {
+        const Cycles t0 = ctx.now();
+        body(ctx);
+        cost = ctx.now() - t0;
+    });
+    dpu.run();
+    return cost;
+}
+
+} // namespace
+
+TEST(DpuTiming, LargeBlocksSplitIntoMaxSizeTransfers)
+{
+    // A 4 KB block must pay two transfer setups (2 KB DMA cap), so it
+    // costs measurably more than 2x a 2 KB block minus fixed latency.
+    const Cycles c2k =
+        costOf([](DpuContext &ctx) { ctx.touchRead(Tier::Mram, 2048); });
+    const Cycles c4k =
+        costOf([](DpuContext &ctx) { ctx.touchRead(Tier::Mram, 4096); });
+    TimingConfig t;
+    // c4k ~= c2k + (2048/8)*beat + one more setup + one more SDK issue
+    const Cycles extra = c4k - c2k;
+    EXPECT_GE(extra, (2048 / t.mram_beat_bytes) * t.mram_cycles_per_beat);
+    EXPECT_LE(extra,
+              (2048 / t.mram_beat_bytes) * t.mram_cycles_per_beat +
+                  4 * t.mram_engine_setup_cycles +
+                  2 * t.mram_access_instrs * t.reissue_interval);
+}
+
+TEST(DpuTiming, RandomAccessesCostFullLatencyEach)
+{
+    // N dependent random word reads must cost ~N x the single-word
+    // latency for one tasklet — not stream like one big DMA.
+    const Cycles one =
+        costOf([](DpuContext &ctx) { ctx.touchRandom(Tier::Mram, 1, 4, false); });
+    const Cycles fifty = costOf(
+        [](DpuContext &ctx) { ctx.touchRandom(Tier::Mram, 50, 4, false); });
+    EXPECT_GT(fifty, 40 * one);
+
+    const Cycles streamed = costOf(
+        [](DpuContext &ctx) { ctx.touchRead(Tier::Mram, 50 * 4); });
+    EXPECT_GT(fifty, 5 * streamed);
+}
+
+TEST(DpuTiming, RandomAccessesAreBandwidthBoundAcrossTasklets)
+{
+    auto cycles_for = [](unsigned tasklets) {
+        Dpu dpu(smallDpu(), TimingConfig{});
+        dpu.addTasklets(tasklets, [](DpuContext &ctx) {
+            for (int i = 0; i < 20; ++i)
+                ctx.touchRandom(Tier::Mram, 50, 4, false);
+        });
+        dpu.run();
+        return dpu.stats().total_cycles;
+    };
+    // The Labyrinth saturation: clearly sub-linear well below 11.
+    const double c1 = static_cast<double>(cycles_for(1));
+    const double c11 = static_cast<double>(cycles_for(11));
+    EXPECT_GT(c11 / c1, 1.8);
+}
+
+TEST(DpuTiming, WramMetadataIsMuchCheaperThanMram)
+{
+    // The mechanism behind the paper's §4.2.3 WRAM speedups: identical
+    // touch sequences cost far less against WRAM.
+    const Cycles wram = costOf([](DpuContext &ctx) {
+        for (int i = 0; i < 100; ++i)
+            ctx.touchRead(Tier::Wram, 8);
+    });
+    const Cycles mram = costOf([](DpuContext &ctx) {
+        for (int i = 0; i < 100; ++i)
+            ctx.touchRead(Tier::Mram, 8);
+    });
+    EXPECT_GT(mram, 3 * wram);
+}
+
+TEST(DpuTiming, ZeroByteTouchIsHarmless)
+{
+    EXPECT_NO_THROW(costOf([](DpuContext &ctx) {
+        ctx.touchRandom(Tier::Mram, 0, 4, false);
+        ctx.compute(0);
+    }));
+}
+
+TEST(DpuStatsTest, MemoryCountersTrackTraffic)
+{
+    Dpu dpu(smallDpu(), TimingConfig{});
+    const u32 off = dpu.mram().alloc(64);
+    dpu.addTasklet([&](DpuContext &ctx) {
+        ctx.read32(makeAddr(Tier::Mram, off));
+        ctx.write32(makeAddr(Tier::Mram, off), 1);
+        ctx.read64(makeAddr(Tier::Mram, off + 8));
+        ctx.touchRandom(Tier::Mram, 3, 4, true);
+    });
+    dpu.run();
+    const auto &s = dpu.stats();
+    EXPECT_EQ(s.mram_reads, 2u);
+    EXPECT_EQ(s.mram_writes, 4u); // 1 explicit + 3 random
+    EXPECT_EQ(s.mram_bytes_read, 4u + 8u);
+    EXPECT_EQ(s.mram_bytes_written, 4u + 12u);
+}
+
+TEST(DpuStatsTest, StallCyclesOnlyWhenContended)
+{
+    Dpu dpu(smallDpu(), TimingConfig{});
+    dpu.addTasklet([&](DpuContext &ctx) {
+        ctx.acquire(1);
+        ctx.release(1);
+    });
+    dpu.run();
+    EXPECT_EQ(dpu.stats().atomic_stalls, 0u);
+    EXPECT_EQ(dpu.stats().atomic_stall_cycles, 0u);
+    EXPECT_EQ(dpu.stats().atomic_acquires, 1u);
+}
+
+TEST(DpuResetTest, ResetRunPreservesMemoryAndAllocations)
+{
+    Dpu dpu(smallDpu(), TimingConfig{});
+    const u32 off = dpu.mram().alloc(16);
+    dpu.mram().write32(off, 1234);
+
+    dpu.addTasklet([&](DpuContext &ctx) { ctx.compute(10); });
+    dpu.run();
+    const auto first_cycles = dpu.stats().total_cycles;
+    EXPECT_GT(first_cycles, 0u);
+
+    dpu.resetRun();
+    EXPECT_EQ(dpu.stats().total_cycles, 0u);
+    EXPECT_EQ(dpu.now(), 0u);
+    EXPECT_EQ(dpu.mram().read32(off), 1234u); // contents survive
+    EXPECT_FALSE(dpu.mram().canAlloc(dpu.mram().capacity())); // alloc too
+
+    dpu.addTasklet([&](DpuContext &ctx) { ctx.compute(10); });
+    dpu.run();
+    EXPECT_EQ(dpu.stats().total_cycles, first_cycles);
+}
+
+TEST(DpuSchedulerTest, BlockedTaskletsDoNotConsumeIssueSlots)
+{
+    // One tasklet holds the atomic bit and computes; others block on
+    // it. The computing tasklet's instruction interval must reflect
+    // only runnable peers (the blocked ones are stalled).
+    Dpu dpu(smallDpu(), TimingConfig{});
+    Cycles compute_cost = 0;
+    dpu.addTasklet([&](DpuContext &ctx) {
+        ctx.acquire(9);
+        // Give the other tasklets time to block on bit 9.
+        ctx.delay(200);
+        const Cycles t0 = ctx.now();
+        ctx.compute(100);
+        compute_cost = ctx.now() - t0;
+        ctx.release(9);
+    });
+    for (int i = 0; i < 5; ++i) {
+        dpu.addTasklet([&](DpuContext &ctx) {
+            ctx.acquire(9);
+            ctx.release(9);
+        });
+    }
+    dpu.run();
+    // Interval should be the pipeline minimum (11), not inflated by
+    // the five blocked tasklets.
+    EXPECT_EQ(compute_cost, 100u * 11u);
+}
+
+TEST(DpuSchedulerTest, ManyTaskletsInflateIssueInterval)
+{
+    Dpu dpu(smallDpu(), TimingConfig{});
+    std::vector<Cycles> costs(22, 0);
+    for (unsigned t = 0; t < 22; ++t) {
+        dpu.addTasklet([&, t](DpuContext &ctx) {
+            const Cycles t0 = ctx.now();
+            ctx.compute(100);
+            costs[t] = ctx.now() - t0;
+        });
+    }
+    dpu.run();
+    // With 22 runnable tasklets the per-tasklet interval is 22 > 11.
+    EXPECT_EQ(costs[0], 100u * 22u);
+}
+
+TEST(StmCosts, WramMetadataSpeedsUpIdenticalWork)
+{
+    // End-to-end §4.2.3 mechanism check: same workload, same STM, only
+    // the metadata tier differs.
+    auto cycles_for = [](core::MetadataTier tier) {
+        Dpu dpu(smallDpu(), TimingConfig{});
+        core::StmConfig cfg;
+        cfg.kind = core::StmKind::TinyEtlWb;
+        cfg.metadata_tier = tier;
+        cfg.num_tasklets = 4;
+        auto stm = core::makeStm(dpu, cfg);
+        runtime::SharedArray32 arr(dpu, Tier::Mram, 64);
+        arr.fill(dpu, 0);
+        dpu.addTasklets(4, [&](DpuContext &ctx) {
+            for (int i = 0; i < 20; ++i) {
+                const u32 w = static_cast<u32>(ctx.rng().below(64));
+                core::atomically(*stm, ctx, [&](core::TxHandle &tx) {
+                    tx.write(arr.at(w), tx.read(arr.at(w)) + 1);
+                });
+            }
+        });
+        dpu.run();
+        return dpu.stats().total_cycles;
+    };
+    EXPECT_GT(cycles_for(core::MetadataTier::Mram),
+              cycles_for(core::MetadataTier::Wram));
+}
+
+TEST(StmCosts, WaitCmRidesOutAShortLockHold)
+{
+    // Deterministic scenario: a writer holds an ORec for a bounded
+    // window; a reader arriving inside the window aborts with the
+    // paper's abort-immediately policy, but commits first-try when the
+    // wait-on-contention manager is allowed to poll past the window.
+    // (Under sustained contention waiting does NOT pay off — that is
+    // ablation A4's result and why the paper dismisses the policy.)
+    auto aborts_for = [](unsigned polls) {
+        Dpu dpu(smallDpu(), TimingConfig{});
+        core::StmConfig cfg;
+        cfg.kind = core::StmKind::TinyEtlWb;
+        cfg.num_tasklets = 2;
+        cfg.cm_wait_polls = polls;
+        cfg.abort_backoff = false; // keep the schedule exact
+        auto stm = core::makeStm(dpu, cfg);
+        runtime::SharedArray32 arr(dpu, Tier::Mram, 2);
+        arr.fill(dpu, 0);
+        dpu.addTasklet([&](DpuContext &ctx) {
+            core::atomically(*stm, ctx, [&](core::TxHandle &tx) {
+                tx.write(arr.at(0), 1); // lock the ORec...
+                ctx.compute(300);       // ...and hold it a while
+            });
+        });
+        dpu.addTasklet([&](DpuContext &ctx) {
+            ctx.delay(1500); // arrive inside the writer's hold window
+            core::atomically(*stm, ctx, [&](core::TxHandle &tx) {
+                tx.read(arr.at(0));
+            });
+        });
+        dpu.run();
+        EXPECT_EQ(arr.peek(dpu, 0), 1u);
+        return stm->stats().aborts;
+    };
+    EXPECT_GT(aborts_for(0), 0u);
+    EXPECT_EQ(aborts_for(200), 0u);
+}

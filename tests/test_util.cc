@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the util layer: RNG determinism and distribution,
+ * statistics helpers, table formatting, error helpers, bit tricks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats_math.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+using namespace pimstm;
+
+TEST(Types, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(12500), 16384u);
+    EXPECT_EQ(nextPow2(65536), 65536u);
+}
+
+TEST(Types, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(256));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(12500));
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Types, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 8), 0u);
+    EXPECT_EQ(alignUp(1, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(alignUp(9, 4), 12u);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::array<int, 8> buckets{};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i)
+        ++buckets[rng.below(8)];
+    for (int b : buckets) {
+        EXPECT_GT(b, kDraws / 8 * 0.9);
+        EXPECT_LT(b, kDraws / 8 * 1.1);
+    }
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const u64 v = rng.range(5, 7);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 7u);
+        saw_lo = saw_lo || v == 5;
+        saw_hi = saw_hi || v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ReseedResets)
+{
+    Rng rng(9);
+    const u64 first = rng.next();
+    rng.next();
+    rng.reseed(9);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams)
+{
+    EXPECT_NE(deriveSeed(1, 0), deriveSeed(1, 1));
+    EXPECT_NE(deriveSeed(1, 0, 0), deriveSeed(1, 0, 1));
+    EXPECT_NE(deriveSeed(1, 0), deriveSeed(2, 0));
+    EXPECT_EQ(deriveSeed(1, 2, 3), deriveSeed(1, 2, 3));
+}
+
+TEST(StatsMath, MeanAndStddev)
+{
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(StatsMath, Geomean)
+{
+    EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2, 8}), 4.0, 1e-12);
+    EXPECT_THROW(geomean({1, 0}), FatalError);
+    EXPECT_THROW(geomean({-1}), FatalError);
+}
+
+TEST(StatsMath, MinMax)
+{
+    const std::vector<double> xs{3, 1, 2};
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 3.0);
+}
+
+TEST(StatsMath, PercentileAndMedian)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 2}), 3.0);
+}
+
+TEST(TableTest, TextAlignment)
+{
+    Table t({"a", "long_header"});
+    t.newRow().cell("x").cell(1.5, 1);
+    t.newRow().cell("yyyy").cell(u64{42});
+    std::ostringstream os;
+    t.printText(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(TableTest, CsvEscaping)
+{
+    Table t({"name", "note"});
+    t.newRow().cell("plain").cell("has,comma");
+    t.newRow().cell("quote\"inside").cell("multi\nline");
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, CellBeforeRowPanics)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.cell("x"), PanicError);
+}
+
+TEST(Logging, FatalAndPanicCarryMessages)
+{
+    try {
+        fatal("value was ", 42);
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+    try {
+        panic("broken ", "invariant");
+        FAIL();
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("broken invariant"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, ConditionalHelpers)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}

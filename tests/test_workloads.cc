@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Integration tests: the four paper benchmarks run end-to-end through
+ * the driver, with their built-in invariants verified, across the STM
+ * matrix. Each workload's verify() throws on invariant violation, so a
+ * clean run *is* the assertion; the tests additionally check result
+ * plausibility (non-zero throughput, sane abort accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/driver.hh"
+#include "workloads/arraybench.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/labyrinth.hh"
+#include "workloads/linkedlist.hh"
+
+using namespace pimstm;
+using namespace pimstm::core;
+using namespace pimstm::runtime;
+using namespace pimstm::workloads;
+
+namespace
+{
+
+struct Param
+{
+    StmKind kind;
+    MetadataTier tier;
+};
+
+std::string
+paramName(const testing::TestParamInfo<Param> &info)
+{
+    std::string s = stmKindName(info.param.kind);
+    s += info.param.tier == MetadataTier::Wram ? "_WRAM" : "_MRAM";
+    for (auto &c : s)
+        if (c == ' ')
+            c = '_';
+    return s;
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> ps;
+    for (StmKind k : allStmKinds()) {
+        ps.push_back({k, MetadataTier::Mram});
+        ps.push_back({k, MetadataTier::Wram});
+    }
+    return ps;
+}
+
+RunSpec
+spec(const Param &p, unsigned tasklets, u64 seed = 3)
+{
+    RunSpec s;
+    s.kind = p.kind;
+    s.tier = p.tier;
+    s.tasklets = tasklets;
+    s.seed = seed;
+    s.mram_bytes = 8 * 1024 * 1024;
+    return s;
+}
+
+class WorkloadsAll : public testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadsAll, ArrayBenchASmall)
+{
+    ArrayBenchParams p = ArrayBenchParams::workloadA(4);
+    ArrayBench wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 4));
+    EXPECT_EQ(r.stm.commits, 4u * 4u);
+    EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST_P(WorkloadsAll, ArrayBenchBContended)
+{
+    ArrayBenchParams p = ArrayBenchParams::workloadB(20);
+    ArrayBench wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 8));
+    EXPECT_EQ(r.stm.commits, 8u * 20u);
+    // K = 10 words shared by 8 tasklets: contention must show up.
+    EXPECT_GT(r.stm.starts, r.stm.commits);
+}
+
+TEST_P(WorkloadsAll, LinkedListLowContention)
+{
+    LinkedListParams p = LinkedListParams::lowContention(30);
+    LinkedList wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 6));
+    EXPECT_EQ(r.stm.commits, 6u * 30u);
+    EXPECT_GT(r.stm.read_only_commits, 0u);
+}
+
+TEST_P(WorkloadsAll, LinkedListHighContention)
+{
+    LinkedListParams p = LinkedListParams::highContention(30);
+    LinkedList wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 6));
+    EXPECT_EQ(r.stm.commits, 6u * 30u);
+}
+
+TEST_P(WorkloadsAll, KMeansLowContention)
+{
+    KMeansParams p = KMeansParams::lowContention(6);
+    p.rounds = 2;
+    KMeans wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 5));
+    // One tx per point per round.
+    EXPECT_EQ(r.stm.commits, 24u * 6u * 2u);
+}
+
+TEST_P(WorkloadsAll, KMeansHighContention)
+{
+    KMeansParams p = KMeansParams::highContention(6);
+    p.rounds = 2;
+    KMeans wl(p);
+    const auto r = runWorkload(wl, spec(GetParam(), 5));
+    EXPECT_EQ(r.stm.commits, 24u * 6u * 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WorkloadsAll,
+                         testing::ValuesIn(allParams()), paramName);
+
+//
+// Labyrinth is the heaviest workload; cover the full STM matrix only
+// with MRAM metadata (WRAM metadata is infeasible by design — checked
+// separately below).
+//
+
+namespace
+{
+
+class LabyrinthAll : public testing::TestWithParam<StmKind>
+{
+};
+
+std::string
+kindName(const testing::TestParamInfo<StmKind> &info)
+{
+    std::string s = stmKindName(info.param);
+    for (auto &c : s)
+        if (c == ' ')
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+TEST_P(LabyrinthAll, RoutesDisjointPaths)
+{
+    LabyrinthParams p = LabyrinthParams::small(20);
+    Labyrinth wl(p);
+    RunSpec s;
+    s.kind = GetParam();
+    s.tier = MetadataTier::Mram;
+    s.tasklets = 6;
+    s.seed = 11;
+    s.mram_bytes = 8 * 1024 * 1024;
+    const auto r = runWorkload(wl, s);
+    // verify() already proved connectivity and disjointness.
+    EXPECT_EQ(wl.routedPaths() + wl.failedPaths(), 20u);
+    EXPECT_GT(wl.routedPaths(), 10u); // distance-capped jobs mostly route
+    EXPECT_GE(r.stm.commits, 20u);    // 20 pops + routed commits
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LabyrinthAll,
+                         testing::ValuesIn(allStmKinds()), kindName);
+
+TEST(LabyrinthTest, WramMetadataInfeasibleForLargeGrids)
+{
+    // Paper appendix: Labyrinth read/write sets exceed WRAM at 11
+    // tasklets, so the WRAM-metadata configuration must fail loudly.
+    LabyrinthParams p = LabyrinthParams::large(4);
+    Labyrinth wl(p);
+    RunSpec s;
+    s.kind = StmKind::NOrec;
+    s.tier = MetadataTier::Wram;
+    s.tasklets = 11;
+    s.mram_bytes = 32 * 1024 * 1024;
+    EXPECT_THROW(runWorkload(wl, s), FatalError);
+}
+
+TEST(LabyrinthTest, SingleTaskletRoutesEverythingItCan)
+{
+    LabyrinthParams p = LabyrinthParams::small(12);
+    Labyrinth wl(p);
+    RunSpec s;
+    s.tasklets = 1;
+    s.seed = 4;
+    s.mram_bytes = 8 * 1024 * 1024;
+    runWorkload(wl, s);
+    EXPECT_GT(wl.routedPaths(), 0u);
+}
+
+TEST(LabyrinthTest, DeterministicForFixedSeed)
+{
+    auto run_once = [] {
+        LabyrinthParams p = LabyrinthParams::small(15);
+        Labyrinth wl(p);
+        RunSpec s;
+        s.kind = StmKind::TinyEtlWb;
+        s.tasklets = 4;
+        s.seed = 99;
+        s.mram_bytes = 8 * 1024 * 1024;
+        const auto r = runWorkload(wl, s);
+        return std::make_pair(r.dpu.total_cycles, wl.routedPaths());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+//
+// Cross-cutting driver behaviour.
+//
+
+TEST(DriverTest, ThroughputScalesWithTaskletsLowContention)
+{
+    // ArrayBench A is the paper's low-contention scaling showcase.
+    auto tput = [](unsigned tasklets) {
+        ArrayBenchParams p = ArrayBenchParams::workloadA(6);
+        ArrayBench wl(p);
+        RunSpec s;
+        s.kind = StmKind::VrEtlWb;
+        s.tasklets = tasklets;
+        s.mram_bytes = 8 * 1024 * 1024;
+        return runWorkload(wl, s).throughput;
+    };
+    const double t1 = tput(1);
+    const double t8 = tput(8);
+    EXPECT_GT(t8, 2.0 * t1);
+}
+
+TEST(DriverTest, PhaseSharesSumToOne)
+{
+    ArrayBenchParams p = ArrayBenchParams::workloadA(4);
+    ArrayBench wl(p);
+    RunSpec s;
+    s.tasklets = 4;
+    s.mram_bytes = 8 * 1024 * 1024;
+    const auto r = runWorkload(wl, s);
+    double sum = 0;
+    for (double x : r.phase_share)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DriverTest, SeedChangesInterleavingNotInvariants)
+{
+    ArrayBenchParams p = ArrayBenchParams::workloadB(25);
+    double tput_a, tput_b;
+    {
+        ArrayBench wl(p);
+        RunSpec s;
+        s.tasklets = 8;
+        s.seed = 1;
+        s.mram_bytes = 8 * 1024 * 1024;
+        tput_a = runWorkload(wl, s).throughput;
+    }
+    {
+        ArrayBench wl(p);
+        RunSpec s;
+        s.tasklets = 8;
+        s.seed = 2;
+        s.mram_bytes = 8 * 1024 * 1024;
+        tput_b = runWorkload(wl, s).throughput;
+    }
+    EXPECT_GT(tput_a, 0);
+    EXPECT_GT(tput_b, 0);
+    // Different seeds: different interleavings, close but not equal.
+    EXPECT_NE(tput_a, tput_b);
+}
+
+TEST(DriverTest, RejectsBadTaskletCounts)
+{
+    ArrayBenchParams p = ArrayBenchParams::workloadB(1);
+    ArrayBench wl(p);
+    RunSpec s;
+    s.tasklets = 0;
+    EXPECT_THROW(runWorkload(wl, s), FatalError);
+    s.tasklets = 25;
+    EXPECT_THROW(runWorkload(wl, s), FatalError);
+}
