@@ -10,11 +10,15 @@
  *   --full         paper-scale workloads
  *   --csv          machine-readable output
  *   --seeds=N      number of seeds to average (default 3)
+ *   --jobs=N       host threads for the sweep (default: PIMSTM_JOBS
+ *                  env var, else all hardware threads); results are
+ *                  bitwise identical for every N
  */
 
 #ifndef PIMSTM_BENCH_COMMON_HH
 #define PIMSTM_BENCH_COMMON_HH
 
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
@@ -26,6 +30,7 @@
 #include "runtime/driver.hh"
 #include "util/stats_math.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace pimstm::bench
 {
@@ -36,7 +41,15 @@ struct BenchOptions
     bool full = false;
     bool csv = false;
     unsigned seeds = 3;
+    /** Host threads for the sweep; 0 = auto (PIMSTM_JOBS / all cores). */
+    unsigned jobs = 0;
 
+    /**
+     * Parse @p argv; on a malformed numeric flag, print a diagnostic
+     * and exit(2) instead of dying on an unhandled exception. Also
+     * sizes the global util::ThreadPool from --jobs / PIMSTM_JOBS, so
+     * harnesses need no extra setup to run parallel sweeps.
+     */
     static BenchOptions
     parse(int argc, char **argv)
     {
@@ -52,14 +65,44 @@ struct BenchOptions
             else if (a == "--csv")
                 o.csv = true;
             else if (a.rfind("--seeds=", 0) == 0)
-                o.seeds = static_cast<unsigned>(
-                    std::stoul(a.substr(std::strlen("--seeds="))));
-            else
+                o.seeds = parseUnsigned(argv[0], a, "--seeds=");
+            else if (a.rfind("--jobs=", 0) == 0) {
+                o.jobs = parseUnsigned(argv[0], a, "--jobs=");
+                if (o.jobs == 0)
+                    usageError(argv[0], a, "must be at least 1");
+            } else
                 std::cerr << "ignoring unknown option " << a << "\n";
         }
         if (o.seeds == 0)
             o.seeds = 1;
+        util::ThreadPool::setGlobalJobs(o.jobs);
         return o;
+    }
+
+  private:
+    [[noreturn]] static void
+    usageError(const char *prog, const std::string &arg,
+               const char *why)
+    {
+        std::cerr << (prog ? prog : "bench") << ": invalid option '"
+                  << arg << "': " << why << "\n";
+        std::exit(2);
+    }
+
+    /** Strict decimal parse of the value after @p prefix. */
+    static unsigned
+    parseUnsigned(const char *prog, const std::string &arg,
+                  const char *prefix)
+    {
+        const std::string v = arg.substr(std::strlen(prefix));
+        unsigned out = 0;
+        const char *first = v.data();
+        const char *last = v.data() + v.size();
+        const auto [ptr, ec] = std::from_chars(first, last, out);
+        if (v.empty() || ec != std::errc() || ptr != last)
+            usageError(prog, arg,
+                       "expected an unsigned decimal integer");
+        return out;
     }
 };
 
@@ -83,10 +126,14 @@ struct PointResult
     std::map<std::string, double> extra;
 };
 
-using WorkloadFactory =
-    std::function<std::unique_ptr<runtime::Workload>()>;
+using runtime::WorkloadFactory;
 
-/** Run one sweep point, averaging over @p seeds seeds. */
+/**
+ * Run one sweep point, averaging over @p seeds seeds. Seed replicas
+ * run concurrently on the global pool (inline when this is itself
+ * called from a parallel sweep); aggregation walks the outcomes in
+ * seed order, so the result is identical to the old serial loop.
+ */
 inline PointResult
 runPoint(const WorkloadFactory &factory, core::StmKind kind,
          core::MetadataTier tier, unsigned tasklets, unsigned seeds,
@@ -97,32 +144,33 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
     pr.tier = tier;
     pr.tasklets = tasklets;
 
+    std::vector<runtime::RunSpec> specs(seeds, base);
+    for (unsigned s = 0; s < seeds; ++s) {
+        specs[s].kind = kind;
+        specs[s].tier = tier;
+        specs[s].tasklets = tasklets;
+        specs[s].seed = base.seed + s * 7919;
+    }
+    const auto outcomes = runtime::runWorkloadMany(factory, specs);
+
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;
     std::map<std::string, std::vector<double>> extras;
-
-    for (unsigned s = 0; s < seeds; ++s) {
-        runtime::RunSpec spec = base;
-        spec.kind = kind;
-        spec.tier = tier;
-        spec.tasklets = tasklets;
-        spec.seed = base.seed + s * 7919;
-        auto wl = factory();
-        try {
-            const auto r = runWorkload(*wl, spec);
-            tputs.push_back(r.throughput);
-            aborts.push_back(r.abort_rate);
-            apps.push_back(r.app_ops_per_sec);
-            for (size_t p = 0; p < sim::kNumPhases; ++p)
-                shares[p].push_back(r.phase_share[p]);
-            for (const auto &[k, v] : r.extra)
-                extras[k].push_back(v);
-        } catch (const FatalError &) {
+    for (const auto &o : outcomes) {
+        if (!o.ok) {
             // Infeasible configuration (e.g. WRAM metadata that does
             // not fit): the paper marks these "not runnable".
             pr.runnable = false;
             return pr;
         }
+        const auto &r = o.result;
+        tputs.push_back(r.throughput);
+        aborts.push_back(r.abort_rate);
+        apps.push_back(r.app_ops_per_sec);
+        for (size_t p = 0; p < sim::kNumPhases; ++p)
+            shares[p].push_back(r.phase_share[p]);
+        for (const auto &[k, v] : r.extra)
+            extras[k].push_back(v);
     }
     pr.throughput_mean = mean(tputs);
     pr.throughput_std = stddev(tputs);
@@ -147,44 +195,61 @@ taskletSeries(bool full)
 /**
  * Sweep all STM kinds over the tasklet series and print a throughput /
  * abort-rate / breakdown table, one row per (kind, tasklets).
+ *
+ * The (kind, tasklets) points fan out over the global thread pool;
+ * each point writes its PointResult into a slot indexed by its sweep
+ * position, and the table is rendered serially after the barrier, so
+ * row order and contents are independent of the job count.
  */
 inline std::vector<PointResult>
 sweepKinds(const std::string &title, const WorkloadFactory &factory,
            core::MetadataTier tier, const BenchOptions &opt,
            const runtime::RunSpec &base = {})
 {
-    std::vector<PointResult> results;
+    struct SweepPoint
+    {
+        core::StmKind kind;
+        unsigned tasklets;
+    };
+    std::vector<SweepPoint> points;
+    for (core::StmKind kind : core::allStmKinds())
+        for (unsigned t : taskletSeries(opt.full))
+            points.push_back({kind, t});
+
+    std::vector<PointResult> results(points.size());
+    util::parallelFor(points.size(), [&](size_t i) {
+        results[i] = runPoint(factory, points[i].kind, tier,
+                              points[i].tasklets, opt.seeds, base);
+    });
+
     Table table({"stm", "tasklets", "tput_tx_per_s", "stddev",
                  "abort_rate", "read%", "write%", "validate%", "commit%",
                  "wasted%", "other%"});
-    for (core::StmKind kind : core::allStmKinds()) {
-        for (unsigned t : taskletSeries(opt.full)) {
-            PointResult pr =
-                runPoint(factory, kind, tier, t, opt.seeds, base);
-            results.push_back(pr);
-            table.newRow().cell(core::stmKindName(kind)).cell(t);
-            if (!pr.runnable) {
-                for (int c = 0; c < 9; ++c)
-                    table.cell("n/a");
-                continue;
-            }
-            auto share = [&](sim::Phase p) {
-                return 100.0 *
-                       pr.phase_share[static_cast<size_t>(p)];
-            };
-            table.cell(pr.throughput_mean, 1)
-                .cell(pr.throughput_std, 1)
-                .cell(pr.abort_rate_mean, 4)
-                .cell(share(sim::Phase::TxRead), 1)
-                .cell(share(sim::Phase::TxWrite), 1)
-                .cell(share(sim::Phase::TxValidate), 1)
-                .cell(share(sim::Phase::TxCommit), 1)
-                .cell(share(sim::Phase::Wasted), 1)
-                .cell(share(sim::Phase::TxOther) +
-                          share(sim::Phase::NonTx) +
-                          share(sim::Phase::TxStart),
-                      1);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const PointResult &pr = results[i];
+        table.newRow()
+            .cell(core::stmKindName(points[i].kind))
+            .cell(points[i].tasklets);
+        if (!pr.runnable) {
+            for (int c = 0; c < 9; ++c)
+                table.cell("n/a");
+            continue;
         }
+        auto share = [&](sim::Phase p) {
+            return 100.0 * pr.phase_share[static_cast<size_t>(p)];
+        };
+        table.cell(pr.throughput_mean, 1)
+            .cell(pr.throughput_std, 1)
+            .cell(pr.abort_rate_mean, 4)
+            .cell(share(sim::Phase::TxRead), 1)
+            .cell(share(sim::Phase::TxWrite), 1)
+            .cell(share(sim::Phase::TxValidate), 1)
+            .cell(share(sim::Phase::TxCommit), 1)
+            .cell(share(sim::Phase::Wasted), 1)
+            .cell(share(sim::Phase::TxOther) +
+                      share(sim::Phase::NonTx) +
+                      share(sim::Phase::TxStart),
+                  1);
     }
     std::cout << "== " << title << " (metadata "
               << core::metadataTierName(tier) << ") ==\n";

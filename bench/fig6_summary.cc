@@ -88,20 +88,38 @@ main(int argc, char **argv)
     std::map<std::string, std::map<core::StmKind, std::map<int, double>>>
         peaks;
 
+    // Flatten the whole (tier x workload x kind x tasklets) sweep into
+    // one job list and fan it out over the host thread pool; the peak
+    // reduction below walks per-index slots in sweep order, so the
+    // result is identical for any --jobs value.
+    struct Job
+    {
+        core::MetadataTier tier;
+        size_t wl;
+        core::StmKind kind;
+        unsigned tasklets;
+    };
+    std::vector<Job> sweep;
     for (const auto tier :
-         {core::MetadataTier::Mram, core::MetadataTier::Wram}) {
-        for (const auto &wl : workloads) {
-            for (core::StmKind kind : core::allStmKinds()) {
-                double best = 0;
-                for (unsigned t : taskletSeries(opt.full)) {
-                    const auto pr = runPoint(wl.factory, kind, tier, t,
-                                             opt.seeds, base);
-                    if (pr.runnable)
-                        best = std::max(best, pr.throughput_mean);
-                }
-                peaks[wl.name][kind][static_cast<int>(tier)] = best;
-            }
-        }
+         {core::MetadataTier::Mram, core::MetadataTier::Wram})
+        for (size_t w = 0; w < workloads.size(); ++w)
+            for (core::StmKind kind : core::allStmKinds())
+                for (unsigned t : taskletSeries(opt.full))
+                    sweep.push_back({tier, w, kind, t});
+
+    std::vector<PointResult> prs(sweep.size());
+    util::parallelFor(sweep.size(), [&](size_t i) {
+        prs[i] = runPoint(workloads[sweep[i].wl].factory, sweep[i].kind,
+                          sweep[i].tier, sweep[i].tasklets, opt.seeds,
+                          base);
+    });
+
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const Job &j = sweep[i];
+        double &best =
+            peaks[workloads[j.wl].name][j.kind][static_cast<int>(j.tier)];
+        if (prs[i].runnable)
+            best = std::max(best, prs[i].throughput_mean);
     }
 
     for (const auto tier :

@@ -5,6 +5,7 @@
 
 #include "runtime/driver.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workloads/kmeans.hh"
 #include "workloads/labyrinth.hh"
 
@@ -49,8 +50,8 @@ runKMeansMultiDpu(unsigned dpus, const MultiKMeansParams &params,
     // shards are statistically identical; the max over the sample is
     // the modelled critical path).
     sim::TimingConfig timing;
-    double worst = 0;
-    for (unsigned d = 0; d < sample; ++d) {
+    std::vector<double> sample_seconds(sample, 0.0);
+    util::parallelFor(sample, [&](size_t d) {
         workloads::KMeansParams kp;
         kp.clusters = params.clusters;
         kp.dims = params.dims;
@@ -66,9 +67,11 @@ runKMeansMultiDpu(unsigned dpus, const MultiKMeansParams &params,
         spec.seed = deriveSeed(params.seed, 0xd1d1, d);
         spec.mram_bytes = 16 * 1024 * 1024;
         spec.timing = timing;
-        const auto r = runWorkload(wl, spec);
-        worst = std::max(worst, r.seconds);
-    }
+        sample_seconds[d] = runWorkload(wl, spec).seconds;
+    });
+    double worst = 0;
+    for (double s : sample_seconds)
+        worst = std::max(worst, s);
 
     MultiDpuTime t;
     t.dpus = dpus;
@@ -105,8 +108,8 @@ runLabyrinthMultiDpu(unsigned dpus, const MultiLabyrinthParams &params,
     const unsigned sample = std::min(params.sample_dpus, dpus);
 
     sim::TimingConfig timing;
-    double worst = 0;
-    for (unsigned d = 0; d < sample; ++d) {
+    std::vector<double> sample_seconds(sample, 0.0);
+    util::parallelFor(sample, [&](size_t d) {
         workloads::LabyrinthParams lp;
         lp.x = params.x;
         lp.y = params.y;
@@ -121,9 +124,11 @@ runLabyrinthMultiDpu(unsigned dpus, const MultiLabyrinthParams &params,
         spec.seed = deriveSeed(params.seed, 0x1abcafe, d);
         spec.mram_bytes = 64 * 1024 * 1024;
         spec.timing = timing;
-        const auto r = runWorkload(wl, spec);
-        worst = std::max(worst, r.seconds);
-    }
+        sample_seconds[d] = runWorkload(wl, spec).seconds;
+    });
+    double worst = 0;
+    for (double s : sample_seconds)
+        worst = std::max(worst, s);
 
     MultiDpuTime t;
     t.dpus = dpus;

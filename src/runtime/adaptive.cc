@@ -36,27 +36,36 @@ adaptiveRun(const AdaptiveFactory &factory, const RunSpec &spec,
     double best = -1.0;
     bool any = false;
 
+    // Probe all (tier, kind) candidates concurrently on the global
+    // pool; the selection below walks the outcomes in candidate order,
+    // so the chosen STM (and the probe-time sum, which is FP-order
+    // sensitive) match the old serial loop exactly. Infeasible
+    // configurations (e.g. WRAM metadata that does not fit) come back
+    // as !ok and are skipped, like the paper.
+    std::vector<RunSpec> probe_specs;
     for (const core::MetadataTier tier : tiers) {
         for (const core::StmKind kind : candidates) {
             RunSpec probe_spec = spec;
             probe_spec.kind = kind;
             probe_spec.tier = tier;
-            auto wl = factory(/*probe=*/true);
-            try {
-                const RunResult r = runWorkload(*wl, probe_spec);
-                result.probe_seconds += r.seconds;
-                result.probe_throughput[candidateName(kind, tier)] =
-                    r.throughput;
-                if (r.throughput > best) {
-                    best = r.throughput;
-                    result.chosen_kind = kind;
-                    result.chosen_tier = tier;
-                    any = true;
-                }
-            } catch (const FatalError &) {
-                // Not runnable in this configuration (e.g. WRAM
-                // metadata that does not fit) — skip, like the paper.
-            }
+            probe_specs.push_back(probe_spec);
+        }
+    }
+    const auto outcomes = runWorkloadMany(
+        [&] { return factory(/*probe=*/true); }, probe_specs);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok)
+            continue;
+        const RunResult &r = outcomes[i].result;
+        result.probe_seconds += r.seconds;
+        result.probe_throughput[candidateName(probe_specs[i].kind,
+                                              probe_specs[i].tier)] =
+            r.throughput;
+        if (r.throughput > best) {
+            best = r.throughput;
+            result.chosen_kind = probe_specs[i].kind;
+            result.chosen_tier = probe_specs[i].tier;
+            any = true;
         }
     }
     fatalIf(!any, "no STM candidate was runnable for this workload");

@@ -1,6 +1,7 @@
 #include "runtime/driver.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace pimstm::runtime
 {
@@ -68,6 +69,24 @@ runWorkload(Workload &workload, const RunSpec &spec)
         }
     }
     return r;
+}
+
+std::vector<RunOutcome>
+runWorkloadMany(const WorkloadFactory &factory,
+                const std::vector<RunSpec> &specs)
+{
+    std::vector<RunOutcome> outcomes(specs.size());
+    util::parallelFor(specs.size(), [&](size_t i) {
+        auto wl = factory();
+        try {
+            outcomes[i].result = runWorkload(*wl, specs[i]);
+            outcomes[i].ok = true;
+        } catch (const FatalError &e) {
+            outcomes[i].ok = false;
+            outcomes[i].error = e.what();
+        }
+    });
+    return outcomes;
 }
 
 } // namespace pimstm::runtime

@@ -9,9 +9,11 @@
 #ifndef PIMSTM_RUNTIME_DRIVER_HH
 #define PIMSTM_RUNTIME_DRIVER_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/stm_factory.hh"
 #include "sim/dpu.hh"
@@ -106,6 +108,29 @@ struct RunResult
  * sweep harnesses catch this to mark the point "not runnable".
  */
 RunResult runWorkload(Workload &workload, const RunSpec &spec);
+
+/** Creates a fresh problem instance per run (runs must not share
+ * workload state when they execute concurrently). */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** Outcome of one spec within runWorkloadMany. */
+struct RunOutcome
+{
+    /** False when the configuration was infeasible (FatalError). */
+    bool ok = false;
+    RunResult result;
+    std::string error; ///< FatalError message when !ok
+};
+
+/**
+ * Run one workload instance per spec, concurrently on the global
+ * util::ThreadPool. outcome[i] corresponds to specs[i]; results are
+ * bitwise independent of the job count because every run is a
+ * self-contained simulation. FatalError (infeasible configuration) is
+ * captured per-outcome; any other exception propagates.
+ */
+std::vector<RunOutcome> runWorkloadMany(const WorkloadFactory &factory,
+                                        const std::vector<RunSpec> &specs);
 
 } // namespace pimstm::runtime
 

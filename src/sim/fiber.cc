@@ -10,8 +10,11 @@ namespace
 
 // The fiber about to be started. makecontext() only portably passes int
 // arguments, so the pointer is handed over through this slot instead.
-// The simulator is single-host-threaded, so a plain static is safe.
-Fiber *starting_fiber = nullptr;
+// Each DPU runs on one host thread, but different DPUs may run on
+// different host threads concurrently (util::ThreadPool), so the slot
+// must be thread-local: a plain static would let one thread's enter()
+// clobber the fiber another thread is about to trampoline into.
+thread_local Fiber *starting_fiber = nullptr;
 
 } // namespace
 

@@ -5,8 +5,10 @@
  * Each simulated tasklet runs on its own fiber; the DPU scheduler switches
  * into a fiber to advance that tasklet and the fiber switches back on
  * every simulated-cost operation (memory access, instruction batch,
- * atomic op). Everything stays on one host thread, so simulated
- * "concurrency" is fully deterministic.
+ * atomic op). One DPU's fibers all stay on the host thread that called
+ * Dpu::run(), so simulated "concurrency" is fully deterministic —
+ * while independent DPUs may run concurrently on different host
+ * threads (a fiber must not migrate between host threads mid-run).
  */
 
 #ifndef PIMSTM_SIM_FIBER_HH

@@ -1,0 +1,175 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace pimstm::util
+{
+
+namespace
+{
+
+/** Set while this host thread is executing a pool task; a nested
+ * parallelFor (from any pool) then runs inline. */
+thread_local bool inside_task = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+    workers_.reserve(jobs_ - 1);
+    for (unsigned i = 0; i + 1 < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::insideTask()
+{
+    return inside_task;
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("PIMSTM_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 &&
+            v <= std::numeric_limits<unsigned>::max())
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_global_mutex);
+    if (!g_global_pool)
+        g_global_pool = std::make_unique<ThreadPool>();
+    return *g_global_pool;
+}
+
+void
+ThreadPool::setGlobalJobs(unsigned jobs)
+{
+    panicIf(inside_task, "ThreadPool::setGlobalJobs from inside a task");
+    std::lock_guard<std::mutex> lk(g_global_mutex);
+    const unsigned want = jobs ? jobs : defaultJobs();
+    if (g_global_pool && g_global_pool->jobs() == want)
+        return;
+    g_global_pool.reset(); // join old workers before replacing
+    g_global_pool = std::make_unique<ThreadPool>(want);
+}
+
+void
+ThreadPool::runIndices()
+{
+    inside_task = true;
+    for (;;) {
+        const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_n_)
+            break;
+        try {
+            (*job_fn_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!first_ex_ || i < first_ex_index_) {
+                first_ex_ = std::current_exception();
+                first_ex_index_ = i;
+            }
+        }
+    }
+    inside_task = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    u64 seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        lk.unlock();
+        runIndices();
+        lk.lock();
+        if (--active_workers_ == 0)
+            cv_done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const IndexFn &fn)
+{
+    if (n == 0)
+        return;
+    // Serial paths: a one-thread pool, a single item, or a nested call
+    // from inside a task. All run inline, in index order, with natural
+    // exception propagation — bitwise identical to the parallel path.
+    if (jobs_ <= 1 || n == 1 || inside_task) {
+        const bool was_inside = inside_task;
+        inside_task = true;
+        try {
+            for (size_t i = 0; i < n; ++i)
+                fn(i);
+        } catch (...) {
+            inside_task = was_inside;
+            throw;
+        }
+        inside_task = was_inside;
+        return;
+    }
+
+    std::unique_lock<std::mutex> lk(m_);
+    panicIf(busy_,
+            "ThreadPool::parallelFor re-entered concurrently from an "
+            "unrelated host thread");
+    busy_ = true;
+    job_n_ = n;
+    job_fn_ = &fn;
+    next_index_.store(0, std::memory_order_relaxed);
+    first_ex_ = nullptr;
+    first_ex_index_ = 0;
+    active_workers_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+    lk.unlock();
+    cv_start_.notify_all();
+
+    runIndices(); // the caller is one of the pool's threads
+
+    lk.lock();
+    cv_done_.wait(lk, [&] { return active_workers_ == 0; });
+    job_fn_ = nullptr;
+    job_n_ = 0;
+    busy_ = false;
+    std::exception_ptr ex = first_ex_;
+    first_ex_ = nullptr;
+    lk.unlock();
+
+    if (ex)
+        std::rethrow_exception(ex);
+}
+
+} // namespace pimstm::util
