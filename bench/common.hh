@@ -13,18 +13,25 @@
  *   --jobs=N       host threads for the sweep (default: PIMSTM_JOBS
  *                  env var, else all hardware threads); results are
  *                  bitwise identical for every N
+ *   --perf-json=F  write a host-performance artifact (wall-clock and
+ *                  simulated cycles/sec per sweep point) to F on exit;
+ *                  never affects the simulated output
  */
 
 #ifndef PIMSTM_BENCH_COMMON_HH
 #define PIMSTM_BENCH_COMMON_HH
 
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/driver.hh"
@@ -35,6 +42,136 @@
 namespace pimstm::bench
 {
 
+/**
+ * One timed unit of host work for the perf artifact: a sweep point of
+ * a figure harness, or a micro_sched scenario. Wall-clock is host time
+ * and therefore machine-dependent and non-deterministic — it is only
+ * ever written to the perf JSON, never to the simulated CSV output.
+ */
+struct PerfRecord
+{
+    std::string bench; ///< harness name (argv[0] basename)
+    std::string label; ///< sweep point / scenario label
+    double wall_s = 0; ///< host seconds spent on this unit
+    double sim_cycles = 0;  ///< simulated cycles produced
+    u64 sched_switches = 0; ///< fiber switches performed
+    u64 sched_elisions = 0; ///< switches elided by the scheduler
+};
+
+/**
+ * Collector behind --perf-json=FILE: sweep points record their
+ * wall-clock and simulated-cycle throughput as they finish (from any
+ * pool thread), and the file is written once at process exit. CI
+ * uploads it as the non-gating BENCH_sim.json artifact, so the
+ * simulator's host-performance trajectory is tracked per commit.
+ */
+class PerfReporter
+{
+  public:
+    static PerfReporter &
+    instance()
+    {
+        static PerfReporter r;
+        return r;
+    }
+
+    void
+    enable(std::string path, std::string bench)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        path_ = std::move(path);
+        bench_ = std::move(bench);
+        if (!registered_) {
+            registered_ = true;
+            std::atexit([] { PerfReporter::instance().write(); });
+        }
+    }
+
+    bool
+    enabled() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return !path_.empty();
+    }
+
+    void
+    record(PerfRecord r)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (path_.empty())
+            return;
+        if (r.bench.empty())
+            r.bench = bench_;
+        records_.push_back(std::move(r));
+    }
+
+    /** Write the JSON artifact; called automatically at exit. */
+    void
+    write()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (path_.empty())
+            return;
+        std::ofstream out(path_);
+        if (!out) {
+            std::cerr << "perf-json: cannot write " << path_ << "\n";
+            return;
+        }
+        double wall = 0, cycles = 0;
+        u64 switches = 0, elisions = 0;
+        for (const auto &r : records_) {
+            wall += r.wall_s;
+            cycles += r.sim_cycles;
+            switches += r.sched_switches;
+            elisions += r.sched_elisions;
+        }
+        out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"totals\": {"
+            << "\"wall_s\": " << wall
+            << ", \"sim_cycles\": " << cycles
+            << ", \"sim_cycles_per_wall_s\": "
+            << (wall > 0 ? cycles / wall : 0)
+            << ", \"sched_switches\": " << switches
+            << ", \"sched_elisions\": " << elisions << "},\n"
+            << "  \"points\": [\n";
+        for (size_t i = 0; i < records_.size(); ++i) {
+            const auto &r = records_[i];
+            out << "    {\"bench\": \"" << escape(r.bench)
+                << "\", \"label\": \"" << escape(r.label)
+                << "\", \"wall_s\": " << r.wall_s
+                << ", \"sim_cycles\": " << r.sim_cycles
+                << ", \"sim_cycles_per_wall_s\": "
+                << (r.wall_s > 0 ? r.sim_cycles / r.wall_s : 0)
+                << ", \"sched_switches\": " << r.sched_switches
+                << ", \"sched_elisions\": " << r.sched_elisions << "}"
+                << (i + 1 < records_.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        path_.clear(); // write once
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::string bench_;
+    std::vector<PerfRecord> records_;
+    bool registered_ = false;
+};
+
 /** Command-line options shared by all harnesses. */
 struct BenchOptions
 {
@@ -43,6 +180,8 @@ struct BenchOptions
     unsigned seeds = 3;
     /** Host threads for the sweep; 0 = auto (PIMSTM_JOBS / all cores). */
     unsigned jobs = 0;
+    /** Perf-artifact output file; empty = disabled. */
+    std::string perf_json;
 
     /**
      * Parse @p argv; on a malformed numeric flag, print a diagnostic
@@ -70,12 +209,23 @@ struct BenchOptions
                 o.jobs = parseUnsigned(argv[0], a, "--jobs=");
                 if (o.jobs == 0)
                     usageError(argv[0], a, "must be at least 1");
+            } else if (a.rfind("--perf-json=", 0) == 0) {
+                o.perf_json = a.substr(std::strlen("--perf-json="));
+                if (o.perf_json.empty())
+                    usageError(argv[0], a, "expected a file name");
             } else
                 std::cerr << "ignoring unknown option " << a << "\n";
         }
         if (o.seeds == 0)
             o.seeds = 1;
         util::ThreadPool::setGlobalJobs(o.jobs);
+        if (!o.perf_json.empty()) {
+            std::string prog = argv && argv[0] ? argv[0] : "bench";
+            const auto slash = prog.find_last_of('/');
+            if (slash != std::string::npos)
+                prog = prog.substr(slash + 1);
+            PerfReporter::instance().enable(o.perf_json, prog);
+        }
         return o;
     }
 
@@ -124,6 +274,13 @@ struct PointResult
 
     /** Extra workload metrics, averaged. */
     std::map<std::string, double> extra;
+
+    /** @{ Host-perf bookkeeping for --perf-json (summed over seeds;
+     * never printed to the simulated tables/CSV). */
+    double sim_cycles_total = 0;
+    u64 sched_switches_total = 0;
+    u64 sched_elisions_total = 0;
+    /** @} */
 };
 
 using runtime::WorkloadFactory;
@@ -151,7 +308,12 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
         specs[s].tasklets = tasklets;
         specs[s].seed = base.seed + s * 7919;
     }
+    const auto t0 = std::chrono::steady_clock::now();
     const auto outcomes = runtime::runWorkloadMany(factory, specs);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
 
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;
@@ -171,6 +333,9 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
             shares[p].push_back(r.phase_share[p]);
         for (const auto &[k, v] : r.extra)
             extras[k].push_back(v);
+        pr.sim_cycles_total += static_cast<double>(r.dpu.total_cycles);
+        pr.sched_switches_total += r.dpu.sched_switches;
+        pr.sched_elisions_total += r.dpu.sched_elisions;
     }
     pr.throughput_mean = mean(tputs);
     pr.throughput_std = stddev(tputs);
@@ -180,6 +345,18 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
         pr.phase_share[p] = mean(shares[p]);
     for (auto &[k, v] : extras)
         pr.extra[k] = mean(v);
+
+    if (PerfReporter::instance().enabled()) {
+        PerfRecord rec;
+        rec.label = std::string(core::stmKindName(kind)) + "/" +
+                    core::metadataTierName(tier) + "/t" +
+                    std::to_string(tasklets);
+        rec.wall_s = wall_s;
+        rec.sim_cycles = pr.sim_cycles_total;
+        rec.sched_switches = pr.sched_switches_total;
+        rec.sched_elisions = pr.sched_elisions_total;
+        PerfReporter::instance().record(std::move(rec));
+    }
     return pr;
 }
 

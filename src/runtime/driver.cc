@@ -15,6 +15,7 @@ runWorkload(Workload &workload, const RunSpec &spec)
     sim::DpuConfig dpu_cfg;
     dpu_cfg.mram_bytes = spec.mram_bytes;
     dpu_cfg.seed = spec.seed;
+    dpu_cfg.always_switch = spec.sim_always_switch;
     if (spec.atomic_bits_override)
         dpu_cfg.atomic_bits = spec.atomic_bits_override;
 

@@ -68,6 +68,11 @@ struct RunSpec
     /** MRAM size for the simulated DPU (shrinkable for big sweeps). */
     size_t mram_bytes = 64 * 1024 * 1024;
 
+    /** Disable fiber-switch elision (DpuConfig::always_switch): every
+     * timing charge pays a fiber switch. Slower, bitwise-identical
+     * results — used by tests/CI to cross-check the elided fast path. */
+    bool sim_always_switch = false;
+
     sim::TimingConfig timing{};
 
     /** Overrides applied to the workload-configured StmConfig

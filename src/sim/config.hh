@@ -125,6 +125,14 @@ struct DpuConfig
 
     /** Base RNG seed for this DPU's tasklet streams. */
     u64 seed = 1;
+
+    /** Force a fiber switch on every timing charge instead of eliding
+     * switches when the running tasklet stays the scheduler's next
+     * pick. Simulated results are bitwise identical either way (the
+     * test suite and CI cross-check this); the switching mode is only
+     * slower. The PIMSTM_SIM_ALWAYS_SWITCH environment variable
+     * forces this on for any Dpu regardless of the field. */
+    bool always_switch = false;
 };
 
 /**

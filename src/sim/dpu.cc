@@ -1,6 +1,8 @@
 #include "sim/dpu.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -163,7 +165,8 @@ DpuContext::touchRandom(Tier tier, u64 count, size_t bytes_each,
         return;
     if (tier == Tier::Wram) {
         dpu_.stats_.wram_accesses += count;
-        compute(count * dpu_.timing_.wram_access_instrs);
+        compute(count * dpu_.timing_.wram_access_instrs *
+                divCeil(bytes_each, 8));
         return;
     }
     const Cycles done =
@@ -184,11 +187,7 @@ DpuContext::acquire(u32 key)
             return;
         }
         ++dpu_.stats_.atomic_stalls;
-        auto &t = dpu_.tasklets_[id_];
-        t.state = Dpu::TaskletState::BlockedAtomic;
-        t.waiting_bit = bit;
-        t.blocked_since = dpu_.now_;
-        dpu_.suspend(id_);
+        dpu_.blockOnAtomic(id_, bit);
     }
 }
 
@@ -217,15 +216,7 @@ void
 DpuContext::barrier()
 {
     compute(1);
-    auto &t = dpu_.tasklets_[id_];
-    const u64 my_generation = dpu_.barrier_generation_;
-    ++dpu_.barrier_count_;
-    t.state = Dpu::TaskletState::BlockedBarrier;
-    dpu_.maybeReleaseBarrier();
-    while (dpu_.barrier_generation_ == my_generation &&
-           t.state == Dpu::TaskletState::BlockedBarrier) {
-        dpu_.suspend(id_);
-    }
+    dpu_.arriveBarrier(id_);
 }
 
 void
@@ -233,7 +224,7 @@ DpuContext::yield()
 {
     auto &t = dpu_.tasklets_[id_];
     t.ready_at = dpu_.now_ + 1;
-    dpu_.suspend(id_);
+    dpu_.yieldRunning(id_);
 }
 
 void
@@ -252,7 +243,12 @@ Dpu::Dpu(const DpuConfig &cfg, const TimingConfig &timing)
       wram_(Tier::Wram, cfg.wram_bytes),
       mram_(Tier::Mram, cfg.mram_bytes),
       atomic_reg_(cfg.atomic_bits)
-{}
+{
+    always_switch_ = cfg.always_switch;
+    if (const char *env = std::getenv("PIMSTM_SIM_ALWAYS_SWITCH"))
+        always_switch_ = always_switch_ || std::strcmp(env, "0") != 0;
+    ready_heap_.reserve(cfg.max_tasklets);
+}
 
 Dpu::~Dpu() = default;
 
@@ -273,6 +269,7 @@ Dpu::addTasklet(TaskletBody body)
     t.fiber->init(cfg_.fiber_stack_bytes,
                   [body = std::move(body), ctx_ptr]() { body(*ctx_ptr); });
     tasklets_.push_back(std::move(t));
+    ++runnable_count_;
     return tid;
 }
 
@@ -293,24 +290,34 @@ Dpu::resetRun()
     mram_engine_free_ = 0;
     barrier_count_ = 0;
     barrier_generation_ = 0;
+    runnable_count_ = 0;
+    finished_count_ = 0;
+    blocked_atomic_count_ = 0;
+    ready_heap_.clear();
 }
 
 Cycles
 Dpu::instrCost(u64 instrs) const
 {
     const unsigned interval =
-        std::max<unsigned>(timing_.reissue_interval, runnableCount());
+        std::max<unsigned>(timing_.reissue_interval, runnable_count_);
     return instrs * interval;
 }
 
-unsigned
-Dpu::runnableCount() const
+void
+Dpu::pushReady(unsigned tid)
 {
-    unsigned n = 0;
-    for (const auto &t : tasklets_)
-        if (t.state == TaskletState::Ready)
-            ++n;
-    return n;
+    ready_heap_.push_back({tasklets_[tid].ready_at, tid});
+    std::push_heap(ready_heap_.begin(), ready_heap_.end(), laterThan);
+}
+
+bool
+Dpu::currentStaysNext(unsigned tid, Cycles at) const
+{
+    if (ready_heap_.empty())
+        return true;
+    const ReadyEntry &top = ready_heap_.front();
+    return at < top.ready_at || (at == top.ready_at && tid < top.tid);
 }
 
 void
@@ -318,7 +325,51 @@ Dpu::consume(unsigned tid, Cycles cycles, Phase)
 {
     auto &t = tasklets_[tid];
     t.ready_at = now_ + cycles;
+    // Fiber-switch elision: when this tasklet would be the scheduler's
+    // earliest-clock pick anyway (ties by id), resuming it is the only
+    // thing scheduleLoop could do — advance the clock in place and keep
+    // running instead of paying two context switches.
+    if (!always_switch_ && currentStaysNext(tid, t.ready_at)) {
+        now_ = t.ready_at;
+        ++stats_.sched_elisions;
+        return;
+    }
+    pushReady(tid);
     suspend(tid);
+}
+
+void
+Dpu::yieldRunning(unsigned tid)
+{
+    pushReady(tid);
+    suspend(tid);
+}
+
+void
+Dpu::blockOnAtomic(unsigned tid, unsigned bit)
+{
+    auto &t = tasklets_[tid];
+    t.state = TaskletState::BlockedAtomic;
+    t.waiting_bit = bit;
+    t.blocked_since = now_;
+    --runnable_count_;
+    ++blocked_atomic_count_;
+    suspend(tid);
+}
+
+void
+Dpu::arriveBarrier(unsigned tid)
+{
+    auto &t = tasklets_[tid];
+    const u64 my_generation = barrier_generation_;
+    ++barrier_count_;
+    t.state = TaskletState::BlockedBarrier;
+    --runnable_count_;
+    maybeReleaseBarrier();
+    while (barrier_generation_ == my_generation &&
+           t.state == TaskletState::BlockedBarrier) {
+        suspend(tid);
+    }
 }
 
 Cycles
@@ -392,11 +443,17 @@ Dpu::suspend(unsigned tid)
 void
 Dpu::wakeAtomicWaiters(unsigned bit)
 {
-    for (auto &t : tasklets_) {
+    if (blocked_atomic_count_ == 0)
+        return;
+    for (size_t i = 0; i < tasklets_.size(); ++i) {
+        auto &t = tasklets_[i];
         if (t.state == TaskletState::BlockedAtomic && t.waiting_bit == bit) {
             t.state = TaskletState::Ready;
             t.ready_at = now_ + 1;
             stats_.atomic_stall_cycles += now_ - t.blocked_since;
+            ++runnable_count_;
+            --blocked_atomic_count_;
+            pushReady(static_cast<unsigned>(i));
         }
     }
 }
@@ -404,19 +461,25 @@ Dpu::wakeAtomicWaiters(unsigned bit)
 void
 Dpu::maybeReleaseBarrier()
 {
-    unsigned alive = 0;
-    for (const auto &t : tasklets_)
-        if (t.state != TaskletState::Finished)
-            ++alive;
+    const unsigned alive = numTasklets() - finished_count_;
     if (alive == 0 || barrier_count_ < alive)
         return;
     panicIf(barrier_count_ > alive, "barrier overshoot");
     ++barrier_generation_;
     barrier_count_ = 0;
-    for (auto &t : tasklets_) {
+    for (size_t i = 0; i < tasklets_.size(); ++i) {
+        auto &t = tasklets_[i];
         if (t.state == TaskletState::BlockedBarrier) {
             t.state = TaskletState::Ready;
             t.ready_at = now_ + 1;
+            ++runnable_count_;
+            // The last arriver releases the barrier from inside its own
+            // fiber and continues running; only the others go back into
+            // the ready heap. (When called from scheduleLoop after a
+            // tasklet finished, running_tid_ is that Finished tasklet
+            // and every waiter is pushed.)
+            if (static_cast<unsigned>(i) != running_tid_)
+                pushReady(static_cast<unsigned>(i));
         }
     }
 }
@@ -435,35 +498,52 @@ Dpu::run()
 void
 Dpu::scheduleLoop()
 {
-    for (;;) {
-        // Pick the runnable tasklet with the earliest local clock
-        // (ties broken by id — fully deterministic).
-        int next = -1;
-        for (size_t i = 0; i < tasklets_.size(); ++i) {
-            const auto &t = tasklets_[i];
-            if (t.state != TaskletState::Ready)
-                continue;
-            if (next < 0 || t.ready_at < tasklets_[next].ready_at)
-                next = static_cast<int>(i);
+    // (Re)derive the incremental scheduler state from the tasklet
+    // states — O(T) once per run, never again inside the loop.
+    ready_heap_.clear();
+    runnable_count_ = 0;
+    finished_count_ = 0;
+    blocked_atomic_count_ = 0;
+    for (size_t i = 0; i < tasklets_.size(); ++i) {
+        const auto &t = tasklets_[i];
+        panicIf(t.state != TaskletState::Ready &&
+                    t.state != TaskletState::Finished,
+                "tasklet blocked before the run started");
+        if (t.state == TaskletState::Ready) {
+            ++runnable_count_;
+            pushReady(static_cast<unsigned>(i));
+        } else {
+            ++finished_count_;
         }
-        if (next < 0) {
+    }
+
+    for (;;) {
+        // Resume the runnable tasklet with the earliest local clock
+        // (ties broken by id — fully deterministic). The heap holds
+        // exactly the Ready, not-running tasklets, so its top is the
+        // same tasklet the old O(T) scan would have picked.
+        if (ready_heap_.empty()) {
             // No runnable tasklet: either everyone finished, or we are
             // deadlocked on atomics / the barrier.
-            bool all_finished = true;
-            for (const auto &t : tasklets_)
-                if (t.state != TaskletState::Finished)
-                    all_finished = false;
-            if (all_finished)
+            if (finished_count_ == numTasklets())
                 return;
             panic("DPU deadlock: tasklets blocked with none runnable");
         }
+        std::pop_heap(ready_heap_.begin(), ready_heap_.end(), laterThan);
+        const ReadyEntry e = ready_heap_.back();
+        ready_heap_.pop_back();
 
-        auto &t = tasklets_[next];
-        now_ = std::max(now_, t.ready_at);
-        running_tid_ = static_cast<unsigned>(next);
+        auto &t = tasklets_[e.tid];
+        panicIf(t.state != TaskletState::Ready || t.ready_at != e.ready_at,
+                "stale ready-heap entry");
+        now_ = std::max(now_, e.ready_at);
+        running_tid_ = e.tid;
+        ++stats_.sched_switches;
         const bool alive = t.fiber->enter();
         if (!alive) {
             t.state = TaskletState::Finished;
+            --runnable_count_;
+            ++finished_count_;
             // A finishing tasklet may satisfy an outstanding barrier.
             maybeReleaseBarrier();
         }

@@ -9,11 +9,20 @@
  * Tasklet code is ordinary C++ running on a fiber. Every operation with
  * a simulated cost goes through the DpuContext handed to the tasklet
  * body; the context computes the cost under the TimingConfig, advances
- * the tasklet's local clock and yields to the scheduler, which always
- * resumes the globally-earliest runnable tasklet. Interleaving is thus
- * decided purely by simulated time — deterministic, yet fine-grained
- * enough (a switch on every memory access and atomic op) that real STM
- * conflicts, aborts and lock aliasing all occur.
+ * the tasklet's local clock and hands control to the scheduler, which
+ * always resumes the globally-earliest runnable tasklet (ties broken by
+ * id). Interleaving is thus decided purely by simulated time —
+ * deterministic, yet fine-grained enough (a scheduling point on every
+ * memory access and atomic op) that real STM conflicts, aborts and lock
+ * aliasing all occur.
+ *
+ * As a pure host-side optimization, a timing charge whose tasklet would
+ * be the scheduler's next pick anyway advances the clock in place and
+ * keeps running instead of paying two fiber switches ("fiber-switch
+ * elision"); the observable schedule is identical by construction, and
+ * PIMSTM_SIM_ALWAYS_SWITCH=1 (or DpuConfig::always_switch) restores
+ * the switch-on-every-charge behaviour for cross-checking. See
+ * docs/simulator.md §"Scheduler and timing model".
  */
 
 #ifndef PIMSTM_SIM_DPU_HH
@@ -62,6 +71,18 @@ struct DpuStats
     u64 atomic_stalls = 0;
     /** Cycles spent blocked on a held atomic bit, summed over tasklets. */
     Cycles atomic_stall_cycles = 0;
+
+    /**
+     * @{ Host-side scheduler counters (not simulated time; excluded
+     * from cross-mode determinism checks — an elided and an
+     * always-switch run of the same workload agree on every field
+     * above but differ here by construction).
+     */
+    /** Fiber entries performed by the scheduler. */
+    u64 sched_switches = 0;
+    /** Timing charges absorbed in place without a fiber switch. */
+    u64 sched_elisions = 0;
+    /** @} */
 
     Cycles
     busyCycles() const
@@ -214,6 +235,18 @@ class Dpu
     /** Number of registered tasklets. */
     unsigned numTasklets() const { return static_cast<unsigned>(tasklets_.size()); }
 
+    /** Tasklets currently in the Ready state (maintained incrementally;
+     * the pipeline model prices instruction issue with this). */
+    unsigned runnableCount() const { return runnable_count_; }
+
+    /** Tasklets whose body has returned. */
+    unsigned finishedCount() const { return finished_count_; }
+
+    /** True when every timing charge forces a fiber switch (the
+     * PIMSTM_SIM_ALWAYS_SWITCH / DpuConfig::always_switch
+     * cross-checking mode); false in the default elided mode. */
+    bool alwaysSwitch() const { return always_switch_; }
+
   private:
     friend class DpuContext;
 
@@ -235,14 +268,49 @@ class Dpu
         Cycles blocked_since = 0;      // for atomic stall accounting
     };
 
+    /** One entry of the ready min-heap: a Ready, not-running tasklet
+     * keyed by its wake-up time. Entries are never stale — a Ready
+     * tasklet's ready_at only changes while it runs, and the running
+     * tasklet is not in the heap. */
+    struct ReadyEntry
+    {
+        Cycles ready_at;
+        unsigned tid;
+    };
+
+    /** Min-heap order on (ready_at, tid) — mirrors the scheduler's
+     * earliest-clock, lowest-id-on-tie selection rule exactly. */
+    static bool
+    laterThan(const ReadyEntry &a, const ReadyEntry &b)
+    {
+        return a.ready_at > b.ready_at ||
+               (a.ready_at == b.ready_at && a.tid > b.tid);
+    }
+
     /** Cost in cycles of issuing @p instrs instructions now. */
     Cycles instrCost(u64 instrs) const;
 
-    /** Number of tasklets that currently compete for issue slots. */
-    unsigned runnableCount() const;
-
-    /** Charge @p cycles to @p t and suspend it until now + cycles. */
+    /** Charge @p cycles to @p t; keeps running in place when @p tid
+     * would be the scheduler's next pick anyway, else suspends it
+     * until now + cycles. */
     void consume(unsigned tid, Cycles cycles, Phase phase);
+
+    /** Push @p tid (state Ready) into the ready heap. */
+    void pushReady(unsigned tid);
+
+    /** True when the running tasklet @p tid, becoming runnable again at
+     * @p at, is exactly what scheduleLoop would pick next. */
+    bool currentStaysNext(unsigned tid, Cycles at) const;
+
+    /** Requeue the running tasklet (ready_at already set) and yield. */
+    void yieldRunning(unsigned tid);
+
+    /** Move the running tasklet to BlockedAtomic on @p bit and yield. */
+    void blockOnAtomic(unsigned tid, unsigned bit);
+
+    /** Barrier arrival of the running tasklet: block, maybe release,
+     * and yield until the generation advances. */
+    void arriveBarrier(unsigned tid);
 
     /** Schedule an MRAM DMA of @p bytes; returns completion time. */
     Cycles mramAccess(unsigned tid, size_t bytes, bool is_write);
@@ -275,6 +343,16 @@ class Dpu
     Cycles mram_engine_free_ = 0;
     unsigned running_tid_ = 0;
     bool in_run_ = false;
+
+    // Incremental scheduler state: counts are updated at every tasklet
+    // state transition so the hot path (instrCost on each compute /
+    // memory touch, the pick in scheduleLoop, the alive count in
+    // maybeReleaseBarrier) never scans all tasklets.
+    unsigned runnable_count_ = 0;
+    unsigned finished_count_ = 0;
+    unsigned blocked_atomic_count_ = 0;
+    std::vector<ReadyEntry> ready_heap_;
+    bool always_switch_ = false;
 
     // Barrier state.
     unsigned barrier_count_ = 0;

@@ -1,5 +1,8 @@
 #include "sim/fiber.hh"
 
+#include <cstdint>
+#include <cstdlib>
+
 #include "util/logging.hh"
 
 namespace pimstm::sim
@@ -8,15 +11,144 @@ namespace pimstm::sim
 namespace
 {
 
-// The fiber about to be started. makecontext() only portably passes int
-// arguments, so the pointer is handed over through this slot instead.
-// Each DPU runs on one host thread, but different DPUs may run on
-// different host threads concurrently (util::ThreadPool), so the slot
-// must be thread-local: a plain static would let one thread's enter()
-// clobber the fiber another thread is about to trampoline into.
+// The fiber about to be started. The switch primitives only transfer
+// control, so the pointer is handed to the entry routine through this
+// slot. Each DPU runs on one host thread, but different DPUs may run
+// on different host threads concurrently (util::ThreadPool), so the
+// slot must be thread-local: a plain static would let one thread's
+// enter() clobber the fiber another thread is about to start.
 thread_local Fiber *starting_fiber = nullptr;
 
 } // namespace
+
+#ifdef PIMSTM_FIBER_FAST
+
+// ---------------------------------------------------------------------
+// Fast path: System V x86-64 stack switch. Saves the callee-saved
+// registers and the stack pointer, nothing else — in particular not the
+// signal mask, whose save/restore makes glibc's swapcontext issue an
+// rt_sigprocmask syscall per switch and dominated the simulator's
+// inner loop. Caller-saved registers are clobbered by the call itself
+// (the compiler treats pimstm_fiber_switch as an opaque function), and
+// every context eventually returns from its own call to the switch
+// with its own stack intact, so ordinary call semantics hold on both
+// sides.
+// ---------------------------------------------------------------------
+
+extern "C" void pimstm_fiber_switch(void **save_sp, void **load_sp);
+
+asm(R"(
+    .text
+    .globl pimstm_fiber_switch
+    .align 16
+pimstm_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq (%rsi), %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+)");
+
+/** First frame of every fiber: recover the Fiber and run its body. */
+void
+fiberEntry()
+{
+    Fiber *self = starting_fiber;
+    starting_fiber = nullptr;
+    self->run();
+    // run() switches back to the owner after the body finishes and a
+    // finished fiber is never re-entered.
+    std::abort();
+}
+
+void
+Fiber::init(size_t stack_bytes, Body body)
+{
+    panicIf(inside_, "Fiber::init called from inside the fiber");
+    panicIf(started_ && !finished_, "Fiber::init on a live fiber");
+
+    if (!stack_ || stack_bytes_ < stack_bytes) {
+        stack_ = std::make_unique<char[]>(stack_bytes);
+        stack_bytes_ = stack_bytes;
+    }
+    body_ = std::move(body);
+    pending_exception_ = nullptr;
+    finished_ = false;
+    started_ = false;
+
+    // Prepare the stack so the first switch "returns" into fiberEntry:
+    // [top-16] holds its address at a 16-byte boundary (so rsp % 16 ==
+    // 8 at entry, as after a call), preceded by six zeroed callee-saved
+    // register slots, and topped by a null fake return address.
+    auto top = reinterpret_cast<uintptr_t>(stack_.get()) + stack_bytes_;
+    top &= ~static_cast<uintptr_t>(15);
+    auto *slot = reinterpret_cast<u64 *>(top);
+    *--slot = 0; // fake caller, terminates backtraces
+    *--slot = reinterpret_cast<u64>(&fiberEntry);
+    for (int i = 0; i < 6; ++i)
+        *--slot = 0; // r15, r14, r13, r12, rbx, rbp
+    sp_ = slot;
+}
+
+void
+Fiber::run()
+{
+    try {
+        body_();
+    } catch (...) {
+        pending_exception_ = std::current_exception();
+    }
+    finished_ = true;
+    // Return to the most recent enter().
+    pimstm_fiber_switch(&sp_, &owner_sp_);
+}
+
+bool
+Fiber::enter()
+{
+    panicIf(finished_, "Fiber::enter on a finished fiber");
+    panicIf(inside_, "Fiber::enter re-entered");
+
+    inside_ = true;
+    if (!started_) {
+        started_ = true;
+        starting_fiber = this;
+    }
+    pimstm_fiber_switch(&owner_sp_, &sp_);
+    inside_ = false;
+
+    if (pending_exception_) {
+        auto ex = pending_exception_;
+        pending_exception_ = nullptr;
+        std::rethrow_exception(ex);
+    }
+    return !finished_;
+}
+
+void
+Fiber::yieldOut()
+{
+    panicIf(!inside_, "Fiber::yieldOut outside the fiber");
+    pimstm_fiber_switch(&sp_, &owner_sp_);
+}
+
+#else // PIMSTM_FIBER_FAST
+
+// ---------------------------------------------------------------------
+// Portable path: POSIX ucontext. Used on non-x86-64 hosts and in
+// sanitized builds (the sanitizers understand swapcontext but not a
+// hand-rolled stack switch).
+// ---------------------------------------------------------------------
 
 void
 Fiber::init(size_t stack_bytes, Body body)
@@ -92,5 +224,7 @@ Fiber::yieldOut()
     panicIf(!inside_, "Fiber::yieldOut outside the fiber");
     panicIf(swapcontext(&ctx_, &owner_ctx_) != 0, "swapcontext failed");
 }
+
+#endif // PIMSTM_FIBER_FAST
 
 } // namespace pimstm::sim

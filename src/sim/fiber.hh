@@ -1,20 +1,48 @@
 /**
  * @file
- * Cooperative user-level fibers built on POSIX ucontext.
+ * Cooperative user-level fibers.
  *
  * Each simulated tasklet runs on its own fiber; the DPU scheduler switches
  * into a fiber to advance that tasklet and the fiber switches back on
- * every simulated-cost operation (memory access, instruction batch,
- * atomic op). One DPU's fibers all stay on the host thread that called
+ * every simulated-cost operation that cannot be elided (see
+ * Dpu::consume). One DPU's fibers all stay on the host thread that called
  * Dpu::run(), so simulated "concurrency" is fully deterministic —
  * while independent DPUs may run concurrently on different host
  * threads (a fiber must not migrate between host threads mid-run).
+ *
+ * Two switch primitives are provided:
+ *
+ *  - **fast** (default on x86-64): a hand-rolled System V context
+ *    switch that saves/restores only the callee-saved registers and the
+ *    stack pointer. glibc's swapcontext additionally saves the signal
+ *    mask with a real rt_sigprocmask syscall on *every* switch, which
+ *    dominated the inner simulation loop; the simulator never touches
+ *    signal masks, so the fast path simply skips it (~20 ns vs ~1 us).
+ *  - **ucontext** (other architectures, sanitized builds, or
+ *    -DPIMSTM_FIBER_UCONTEXT): the portable POSIX implementation.
+ *
+ * Both are semantically identical to the scheduler; tests and CI run
+ * the same suite whichever primitive is compiled in.
  */
 
 #ifndef PIMSTM_SIM_FIBER_HH
 #define PIMSTM_SIM_FIBER_HH
 
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PIMSTM_FIBER_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PIMSTM_FIBER_SANITIZED 1
+#endif
+#endif
+
+#if !defined(PIMSTM_FIBER_UCONTEXT) && !defined(PIMSTM_FIBER_SANITIZED) && \
+    defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define PIMSTM_FIBER_FAST 1
+#else
 #include <ucontext.h>
+#endif
 
 #include <exception>
 #include <functional>
@@ -67,15 +95,36 @@ class Fiber
     /** True if init() has been called and the body has not finished. */
     bool runnable() const { return started_ && !finished_; }
 
+    /** True when the fast (syscall-free) switch primitive is in use. */
+    static constexpr bool
+    fastSwitch()
+    {
+#ifdef PIMSTM_FIBER_FAST
+        return true;
+#else
+        return false;
+#endif
+    }
+
   private:
+#ifdef PIMSTM_FIBER_FAST
+    friend void fiberEntry();
+#else
     static void trampoline();
+#endif
     void run();
 
     std::unique_ptr<char[]> stack_;
     size_t stack_bytes_ = 0;
     Body body_;
+#ifdef PIMSTM_FIBER_FAST
+    /** Saved stack pointer of the suspended fiber / owner. */
+    void *sp_ = nullptr;
+    void *owner_sp_ = nullptr;
+#else
     ucontext_t ctx_{};
     ucontext_t owner_ctx_{};
+#endif
     bool started_ = false;
     bool finished_ = true;
     bool inside_ = false;
