@@ -23,6 +23,7 @@
 
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -34,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/dpu_pool.hh"
 #include "runtime/driver.hh"
 #include "util/stats_math.hh"
 #include "util/table.hh"
@@ -41,6 +43,24 @@
 
 namespace pimstm::bench
 {
+
+/** Peak resident set size of this process in KB (VmHWM), or 0 when
+ * /proc is unavailable. Host-side observability for --perf-json. */
+inline u64
+peakRssKb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            u64 kb = 0;
+            std::sscanf(line.c_str(), "VmHWM: %llu",
+                        reinterpret_cast<unsigned long long *>(&kb));
+            return kb;
+        }
+    }
+    return 0;
+}
 
 /**
  * One timed unit of host work for the perf artifact: a sweep point of
@@ -117,6 +137,7 @@ class PerfReporter
             std::cerr << "perf-json: cannot write " << path_ << "\n";
             return;
         }
+        out.precision(17); // simulated-cycle fields must round-trip
         double wall = 0, cycles = 0;
         u64 switches = 0, elisions = 0;
         for (const auto &r : records_) {
@@ -125,9 +146,25 @@ class PerfReporter
             switches += r.sched_switches;
             elisions += r.sched_elisions;
         }
+        const auto pool = runtime::DpuPool::global().stats();
+        const auto idx = core::txIndexTotals();
         out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
+            << "  \"host\": {"
+            << "\"peak_rss_kb\": " << peakRssKb()
+            << ", \"dpu_pool_hits\": " << pool.hits
+            << ", \"dpu_pool_misses\": " << pool.misses
+            << ", \"dpu_pool_discards\": " << pool.discards
+            << ", \"txindex_lookups\": " << idx.lookups
+            << ", \"txindex_probes\": " << idx.probes
+            << ", \"txindex_inserts\": " << idx.inserts
+            << ", \"txindex_avg_probe\": "
+            << (idx.lookups > 0
+                    ? static_cast<double>(idx.probes) /
+                          static_cast<double>(idx.lookups)
+                    : 0)
+            << ", \"txindex_max_probe\": " << idx.max_probe << "},\n"
             << "  \"totals\": {"
             << "\"wall_s\": " << wall
             << ", \"sim_cycles\": " << cycles

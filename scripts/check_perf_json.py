@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff two --perf-json artifacts, gating on the simulated fields.
+
+Usage: check_perf_json.py BASELINE.json FRESH.json
+
+The simulated machine is deterministic, so the per-point simulated
+cycle counts (and scheduler event counts) of a fresh run must match
+the committed baseline exactly — any drift means a change altered
+simulated behaviour, which this repo treats as a hard failure unless
+the baseline is regenerated on purpose.
+
+Host-side fields (wall_s, sim_cycles_per_wall_s, the "host" block,
+the hand-written "baseline" block, hardware_threads) vary run to run
+and machine to machine; they are reported but never gated.
+
+Points are compared as a multiset keyed on (label, sim_cycles,
+sched_switches, sched_elisions): labels legally repeat across sweep
+workloads, and record order depends on host-thread completion order.
+"""
+
+import json
+import sys
+from collections import Counter
+
+SIM_POINT_FIELDS = ("sim_cycles", "sched_switches", "sched_elisions")
+SIM_TOTAL_FIELDS = ("sim_cycles", "sched_switches", "sched_elisions")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def point_key(p):
+    return (p.get("label"),) + tuple(p.get(f) for f in SIM_POINT_FIELDS)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[2])
+    base_path, fresh_path = sys.argv[1], sys.argv[2]
+    base, fresh = load(base_path), load(fresh_path)
+
+    failures = []
+
+    for field in SIM_TOTAL_FIELDS:
+        b = base.get("totals", {}).get(field)
+        f = fresh.get("totals", {}).get(field)
+        if b != f:
+            failures.append(f"totals.{field}: baseline {b} != fresh {f}")
+
+    base_points = Counter(map(point_key, base.get("points", [])))
+    fresh_points = Counter(map(point_key, fresh.get("points", [])))
+    if base_points != fresh_points:
+        only_base = base_points - fresh_points
+        only_fresh = fresh_points - base_points
+        for key, n in sorted(only_base.items())[:10]:
+            failures.append(f"point only in baseline (x{n}): {key}")
+        for key, n in sorted(only_fresh.items())[:10]:
+            failures.append(f"point only in fresh (x{n}): {key}")
+        more = max(len(only_base) - 10, 0) + max(len(only_fresh) - 10, 0)
+        if more:
+            failures.append(f"... and {more} more differing points")
+
+    nb, nf = len(base.get("points", [])), len(fresh.get("points", []))
+    if nb != nf:
+        failures.append(f"point count: baseline {nb} != fresh {nf}")
+
+    # Host performance: informational only.
+    bw = base.get("totals", {}).get("wall_s")
+    fw = fresh.get("totals", {}).get("wall_s")
+    if bw and fw:
+        print(f"wall time (report only): baseline {bw:.3f}s, "
+              f"fresh {fw:.3f}s ({bw / fw:.2f}x)")
+
+    if failures:
+        print(f"SIMULATED-FIELD MISMATCH between {base_path} and "
+              f"{fresh_path}:")
+        for line in failures:
+            print(f"  {line}")
+        print("If the simulated cost model changed intentionally, "
+              "regenerate the baseline artifact.")
+        sys.exit(1)
+    print(f"OK: {nf} points, simulated fields identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,48 @@
 #include "core/stm.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 #include "util/logging.hh"
 
 namespace pimstm::core
 {
+
+namespace
+{
+
+// Process-wide tx-set index counters; folded in by Stm::~Stm.
+std::atomic<u64> g_idx_lookups{0};
+std::atomic<u64> g_idx_probes{0};
+std::atomic<u64> g_idx_inserts{0};
+std::atomic<u64> g_idx_max_probe{0};
+
+void
+accumulateIndexStats(const util::EpochIndexStats &s)
+{
+    g_idx_lookups.fetch_add(s.lookups, std::memory_order_relaxed);
+    g_idx_probes.fetch_add(s.probes, std::memory_order_relaxed);
+    g_idx_inserts.fetch_add(s.inserts, std::memory_order_relaxed);
+    u64 prev = g_idx_max_probe.load(std::memory_order_relaxed);
+    while (prev < s.max_probe &&
+           !g_idx_max_probe.compare_exchange_weak(
+               prev, s.max_probe, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+TxIndexTotals
+txIndexTotals()
+{
+    TxIndexTotals t;
+    t.lookups = g_idx_lookups.load(std::memory_order_relaxed);
+    t.probes = g_idx_probes.load(std::memory_order_relaxed);
+    t.inserts = g_idx_inserts.load(std::memory_order_relaxed);
+    t.max_probe = g_idx_max_probe.load(std::memory_order_relaxed);
+    return t;
+}
 
 const char *
 stmKindName(StmKind kind)
@@ -99,7 +135,11 @@ Stm::Stm(sim::Dpu &dpu, const StmConfig &cfg)
         descriptors_.emplace_back(t, cfg.max_read_set, cfg.max_write_set);
 }
 
-Stm::~Stm() = default;
+Stm::~Stm()
+{
+    for (const auto &tx : descriptors_)
+        accumulateIndexStats(tx.indexStats());
+}
 
 TxDescriptor &
 Stm::descriptor(unsigned tasklet)

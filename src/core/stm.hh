@@ -162,6 +162,22 @@ struct TxAbortException
     AbortReason reason;
 };
 
+/**
+ * Process-wide totals of the transactional-set hash-index probe
+ * counters (host-side observability, surfaced via --perf-json). Each
+ * Stm instance folds its descriptors' counters in at destruction.
+ */
+struct TxIndexTotals
+{
+    u64 lookups = 0;
+    u64 probes = 0;
+    u64 inserts = 0;
+    u64 max_probe = 0;
+};
+
+/** Snapshot of the accumulated totals (thread-safe). */
+TxIndexTotals txIndexTotals();
+
 class Stm;
 
 /**
@@ -279,6 +295,12 @@ class Stm
     u32
     lockIndexFor(Addr a) const
     {
+        // With no lock table (NOrec) the mask arithmetic below wraps to
+        // 0xffffffff and silently returns garbage — catch the misuse.
+        if (lock_table_entries_ == 0) {
+            panic("lockIndexFor on an STM without a lock table (",
+                  name(), ")");
+        }
         return (a >> 2) & (lock_table_entries_ - 1);
     }
 

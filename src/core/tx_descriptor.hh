@@ -10,14 +10,27 @@
  * configured metadata tier by the Stm base class, and the capacity is
  * reserved in simulated memory so WRAM placement fails exactly when the
  * paper says it must.
+ *
+ * Lookup cost model vs host cost
+ * ------------------------------
+ * findWrite()/hasRead() are answered from an O(1) epoch-invalidated
+ * hash index (util::EpochIndex) so the *host* never walks the sets,
+ * while the callers keep charging the *simulated* machine the exact
+ * same linear scanCost() as before — the simulated DPU has no hash
+ * index, only contiguous sets it must stream. findWriteLinear()/
+ * hasReadLinear() are the linear-scan reference implementations kept
+ * for differential tests, and setCrossCheck(true) makes every indexed
+ * lookup verify itself against the linear answer.
  */
 
 #ifndef PIMSTM_CORE_TX_DESCRIPTOR_HH
 #define PIMSTM_CORE_TX_DESCRIPTOR_HH
 
+#include <atomic>
 #include <vector>
 
 #include "sim/addr.hh"
+#include "util/epoch_index.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
 
@@ -67,17 +80,22 @@ class TxDescriptor
         read_set.reserve(rs_cap);
         write_set.reserve(ws_cap);
         locks.reserve(static_cast<size_t>(rs_cap) + ws_cap);
+        read_index_.init(rs_cap);
+        write_index_.init(ws_cap);
     }
 
     unsigned tasklet() const { return tasklet_; }
 
-    /** Reset for a fresh transaction attempt. */
+    /** Reset for a fresh transaction attempt. O(1): the set indexes are
+     * invalidated by bumping their epoch, not by re-zeroing. */
     void
     reset()
     {
         read_set.clear();
         write_set.clear();
         locks.clear();
+        read_index_.clear();
+        write_index_.clear();
         snapshot = 0;
         upper = 0;
         read_only = true;
@@ -90,6 +108,8 @@ class TxDescriptor
         fatalIf(read_set.size() >= rs_cap_,
                 "read-set overflow (capacity ", rs_cap_,
                 "); raise StmConfig::max_read_set");
+        read_index_.insert(e.addr,
+                           static_cast<u32>(read_set.size()));
         read_set.push_back(e);
     }
 
@@ -100,13 +120,44 @@ class TxDescriptor
         fatalIf(write_set.size() >= ws_cap_,
                 "write-set overflow (capacity ", ws_cap_,
                 "); raise StmConfig::max_write_set");
+        write_index_.insert(e.addr,
+                            static_cast<u32>(write_set.size()));
         write_set.push_back(e);
     }
 
-    /** Linear write-set lookup; returns index or -1. The *cost* of the
-     * scan is charged by the caller (it depends on the metadata tier). */
+    /** Write-set lookup; returns index or -1. O(1) hash probe on the
+     * host; the *simulated cost* of the scan is charged by the caller
+     * (it depends on the metadata tier). */
     int
     findWrite(sim::Addr a) const
+    {
+        const int w = write_index_.find(a);
+        if (cross_check_.load(std::memory_order_relaxed)) {
+            const int ref = findWriteLinear(a);
+            panicIf(w != ref, "tx write-set index diverged from linear ",
+                    "scan: addr ", a, " index says ", w, ", scan says ",
+                    ref);
+        }
+        return w;
+    }
+
+    /** Read-set membership check (simulated cost charged by caller). */
+    bool
+    hasRead(sim::Addr a) const
+    {
+        const bool r = read_index_.find(a) >= 0;
+        if (cross_check_.load(std::memory_order_relaxed)) {
+            const bool ref = hasReadLinear(a);
+            panicIf(r != ref, "tx read-set index diverged from linear ",
+                    "scan: addr ", a, " index says ", r, ", scan says ",
+                    ref);
+        }
+        return r;
+    }
+
+    /** @{ Linear-scan reference implementations (differential tests). */
+    int
+    findWriteLinear(sim::Addr a) const
     {
         for (size_t i = 0; i < write_set.size(); ++i)
             if (write_set[i].addr == a)
@@ -114,14 +165,32 @@ class TxDescriptor
         return -1;
     }
 
-    /** Linear read-set membership check (cost charged by caller). */
     bool
-    hasRead(sim::Addr a) const
+    hasReadLinear(sim::Addr a) const
     {
         for (const auto &e : read_set)
             if (e.addr == a)
                 return true;
         return false;
+    }
+    /** @} */
+
+    /** When enabled, every indexed lookup re-runs the linear scan and
+     * panics on divergence. Host-side debug knob for tests; applies to
+     * all descriptors process-wide. */
+    static void
+    setCrossCheck(bool on)
+    {
+        cross_check_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Combined host-side probe statistics of both set indexes. */
+    util::EpochIndexStats
+    indexStats() const
+    {
+        util::EpochIndexStats s = read_index_.stats();
+        s += write_index_.stats();
+        return s;
     }
 
     unsigned readCapacity() const { return rs_cap_; }
@@ -143,9 +212,16 @@ class TxDescriptor
     u64 retries = 0;
 
   private:
+    inline static std::atomic<bool> cross_check_{false};
+
     unsigned tasklet_;
     unsigned rs_cap_;
     unsigned ws_cap_;
+
+    /** addr -> first read-set entry index (membership). */
+    util::EpochIndex<sim::Addr> read_index_;
+    /** addr -> write-set entry index (unique per address). */
+    util::EpochIndex<sim::Addr> write_index_;
 };
 
 } // namespace pimstm::core

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <vector>
 
+#include "util/epoch_index.hh"
 #include "util/types.hh"
 
 namespace pimstm::cpu
@@ -30,20 +31,40 @@ struct CpuTxAbort
 class CpuTx
 {
   public:
+    CpuTx() { write_index_.init(kInitialIndexEntries); }
+
     void
     reset()
     {
         read_set.clear();
         write_set.clear();
+        write_index_.clear(); // O(1) epoch bump
+    }
+
+    /** O(1) write-set lookup (hash index over addresses; grows with
+     * the set). findWriteLinear() is the scan reference for tests. */
+    int
+    findWrite(u32 *addr) const
+    {
+        return write_index_.find(addr);
     }
 
     int
-    findWrite(u32 *addr) const
+    findWriteLinear(u32 *addr) const
     {
         for (size_t i = 0; i < write_set.size(); ++i)
             if (write_set[i].addr == addr)
                 return static_cast<int>(i);
         return -1;
+    }
+
+    /** Record a new write-set entry (addr must not be present yet). */
+    void
+    pushWrite(u32 *addr, u32 value)
+    {
+        write_index_.insert(addr,
+                            static_cast<u32>(write_set.size()));
+        write_set.push_back({addr, value});
     }
 
     struct Entry
@@ -56,6 +77,11 @@ class CpuTx
     u64 snapshot = 0;
     u64 commits = 0;
     u64 aborts = 0;
+
+  private:
+    static constexpr size_t kInitialIndexEntries = 32;
+
+    util::EpochIndex<u32 *> write_index_;
 };
 
 /** The global NOrec instance (one per shared-data domain). */
@@ -101,7 +127,7 @@ class CpuNOrec
             tx.write_set[static_cast<size_t>(w)].value = value;
             return;
         }
-        tx.write_set.push_back({addr, value});
+        tx.pushWrite(addr, value);
     }
 
     /** Commit; throws CpuTxAbort when validation fails. */

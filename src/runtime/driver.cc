@@ -1,5 +1,7 @@
 #include "runtime/driver.hh"
 
+#include "runtime/dpu_pool.hh"
+#include "util/host_alloc.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -12,6 +14,8 @@ runWorkload(Workload &workload, const RunSpec &spec)
     fatalIf(spec.tasklets == 0 || spec.tasklets > 24,
             "tasklet count must be in [1, 24]");
 
+    util::tuneHostAllocator();
+
     sim::DpuConfig dpu_cfg;
     dpu_cfg.mram_bytes = spec.mram_bytes;
     dpu_cfg.seed = spec.seed;
@@ -19,7 +23,12 @@ runWorkload(Workload &workload, const RunSpec &spec)
     if (spec.atomic_bits_override)
         dpu_cfg.atomic_bits = spec.atomic_bits_override;
 
-    sim::Dpu dpu(dpu_cfg, spec.timing);
+    // Recycle a pooled DPU when one is free: bitwise-identical to a
+    // fresh construction, without re-zero-filling a 64 MB MRAM. On any
+    // exception below, the unique_ptr destroys the instance instead of
+    // pooling it (a Dpu unwound mid-run is not reusable).
+    auto dpu_owner = DpuPool::global().acquire(dpu_cfg, spec.timing);
+    sim::Dpu &dpu = *dpu_owner;
 
     core::StmConfig stm_cfg;
     stm_cfg.kind = spec.kind;
@@ -61,14 +70,19 @@ runWorkload(Workload &workload, const RunSpec &spec)
     r.abort_rate = r.stm.abortRate();
     r.extra = workload.extraMetrics();
 
-    const auto busy = dpu.stats().busyCycles();
+    const auto busy = r.dpu.busyCycles();
     if (busy > 0) {
         for (size_t p = 0; p < sim::kNumPhases; ++p) {
             r.phase_share[p] =
-                static_cast<double>(dpu.stats().phase_cycles[p]) /
+                static_cast<double>(r.dpu.phase_cycles[p]) /
                 static_cast<double>(busy);
         }
     }
+
+    // The STM (which references the DPU) must be gone before the DPU
+    // can be handed to another sweep point.
+    stm.reset();
+    DpuPool::global().release(std::move(dpu_owner));
     return r;
 }
 

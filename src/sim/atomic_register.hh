@@ -34,11 +34,21 @@ class AtomicRegister
      *        ablation). Must be a power of two in [1, 256].
      */
     explicit AtomicRegister(unsigned usable_bits = kHardwareBits)
-        : bits_(usable_bits), holder_(usable_bits, kFree)
+    {
+        recycle(usable_bits);
+    }
+
+    /** Return to the all-free state of a fresh register with
+     * @p usable_bits entries (Dpu pool reuse). */
+    void
+    recycle(unsigned usable_bits)
     {
         fatalIf(!isPow2(usable_bits) || usable_bits > kHardwareBits,
                 "atomic register bits must be a power of two <= 256, got ",
                 usable_bits);
+        bits_ = usable_bits;
+        holder_.assign(usable_bits, kFree);
+        acquires_ = 0;
     }
 
     /** Hardware hash from an address-like key to a bit index. */
@@ -105,7 +115,7 @@ class AtomicRegister
         panicIf(bit >= bits_, "atomic register bit ", bit, " out of range");
     }
 
-    unsigned bits_;
+    unsigned bits_ = 0;
     std::vector<s16> holder_;
     u64 acquires_ = 0;
 };

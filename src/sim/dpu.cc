@@ -238,16 +238,42 @@ DpuContext::delay(Cycles cycles)
 // Dpu
 //
 
+namespace
+{
+
+bool
+resolveAlwaysSwitch(const DpuConfig &cfg)
+{
+    bool always = cfg.always_switch;
+    if (const char *env = std::getenv("PIMSTM_SIM_ALWAYS_SWITCH"))
+        always = always || std::strcmp(env, "0") != 0;
+    return always;
+}
+
+} // namespace
+
 Dpu::Dpu(const DpuConfig &cfg, const TimingConfig &timing)
     : cfg_(cfg), timing_(timing),
       wram_(Tier::Wram, cfg.wram_bytes),
       mram_(Tier::Mram, cfg.mram_bytes),
       atomic_reg_(cfg.atomic_bits)
 {
-    always_switch_ = cfg.always_switch;
-    if (const char *env = std::getenv("PIMSTM_SIM_ALWAYS_SWITCH"))
-        always_switch_ = always_switch_ || std::strcmp(env, "0") != 0;
+    always_switch_ = resolveAlwaysSwitch(cfg);
     ready_heap_.reserve(cfg.max_tasklets);
+}
+
+void
+Dpu::recycle(const DpuConfig &cfg, const TimingConfig &timing)
+{
+    fatalIf(in_run_, "Dpu::recycle during run");
+    cfg_ = cfg;
+    timing_ = timing;
+    wram_.recycle(cfg.wram_bytes);
+    mram_.recycle(cfg.mram_bytes);
+    atomic_reg_.recycle(cfg.atomic_bits);
+    always_switch_ = resolveAlwaysSwitch(cfg);
+    ready_heap_.reserve(cfg.max_tasklets);
+    resetRun();
 }
 
 Dpu::~Dpu() = default;

@@ -217,6 +217,17 @@ class Dpu
     /** Clear tasklets and run-statistics; memory contents persist. */
     void resetRun();
 
+    /**
+     * Return this DPU to the state of a freshly constructed
+     * Dpu(cfg, timing): tasklets and statistics cleared, memory tiers
+     * re-zeroed (only their materialized extents — the point of
+     * pooling), atomic register freed, configuration adopted. A
+     * recycled DPU produces bitwise-identical simulations to a fresh
+     * one; runtime::DpuPool uses this to recycle instances across
+     * sweep points instead of reconstructing 64 MB tiers.
+     */
+    void recycle(const DpuConfig &cfg, const TimingConfig &timing);
+
     /** @{ Components. */
     Memory &wram() { return wram_; }
     Memory &mram() { return mram_; }

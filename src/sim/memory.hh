@@ -9,11 +9,21 @@
  * hinge on allocations that do not fit in 64 KB (Labyrinth read/write
  * sets, the ArrayBench A lock table), and alloc() failing loudly is how
  * this reproduction triggers the same fallbacks.
+ *
+ * Host backing is lazy: the simulated tier has a fixed capacity (64 MB
+ * MRAM), but host bytes are only materialized — zero-filled, growing
+ * geometrically — when an offset is actually written. Reads beyond the
+ * materialized high-water mark return zeros, which is exactly what a
+ * fresh (or recycled) tier holds, so simulated behaviour is identical
+ * to an eagerly zero-filled buffer while a 64 MB MRAM whose workload
+ * touches 2 MB costs the host 2 MB. recycle() re-zeroes only the
+ * materialized extent, which is what makes pooled Dpu reuse cheap.
  */
 
 #ifndef PIMSTM_SIM_MEMORY_HH
 #define PIMSTM_SIM_MEMORY_HH
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -29,25 +39,31 @@ class Memory
 {
   public:
     Memory(Tier tier, size_t capacity)
-        : tier_(tier), data_(capacity, 0)
+        : tier_(tier), capacity_(capacity)
     {}
 
     Tier tier() const { return tier_; }
-    size_t capacity() const { return data_.size(); }
+    size_t capacity() const { return capacity_; }
     size_t allocated() const { return brk_; }
-    size_t available() const { return data_.size() - brk_; }
+    size_t available() const { return capacity_ - brk_; }
+
+    /** Host bytes actually materialized (the high-water mark of
+     * written offsets, rounded up by the growth policy). */
+    size_t hostBackedBytes() const { return data_.size(); }
 
     /**
      * Allocate @p bytes (aligned to @p align) and return the byte
      * offset. Throws FatalError when the tier is full — callers use
      * this to reproduce the paper's "does not fit in WRAM" cases.
+     * Allocation only moves the break; host bytes materialize on
+     * first write.
      */
     u32
     alloc(size_t bytes, size_t align = 8)
     {
         panicIf(!isPow2(align), "alignment must be a power of two");
         const size_t start = alignUp(brk_, align);
-        if (start + bytes > data_.size()) {
+        if (start + bytes > capacity_) {
             fatal(tierName(tier_), " allocation of ", bytes,
                   " bytes does not fit (", available(), " of ",
                   capacity(), " bytes free)");
@@ -60,17 +76,40 @@ class Memory
     bool
     canAlloc(size_t bytes, size_t align = 8) const
     {
-        return alignUp(brk_, align) + bytes <= data_.size();
+        panicIf(!isPow2(align), "alignment must be a power of two");
+        return alignUp(brk_, align) + bytes <= capacity_;
     }
 
-    /** Release everything allocated so far (arena-style reset). */
+    /** Release everything allocated so far (arena-style reset).
+     * Contents persist, as on hardware. */
     void resetAlloc() { brk_ = 0; }
+
+    /**
+     * Return the tier to the all-zero state of a fresh DPU and adopt
+     * @p capacity (Dpu pool reuse). Only the materialized extent is
+     * re-zeroed — the whole point of pooling: a recycled 64 MB MRAM
+     * costs memset(high-water), not a fresh 64 MB zero-fill.
+     */
+    void
+    recycle(size_t capacity)
+    {
+        capacity_ = capacity;
+        if (data_.size() > capacity_)
+            data_.resize(capacity_);
+        if (!data_.empty())
+            std::memset(data_.data(), 0, data_.size());
+        brk_ = 0;
+    }
 
     /** @{ Raw, untimed accessors. Offsets must be in range. */
     u32
     read32(u32 offset) const
     {
-        checkRange(offset, 4);
+        if (static_cast<size_t>(offset) + 4 > data_.size()) {
+            u32 v;
+            readSparse(offset, &v, 4);
+            return v;
+        }
         u32 v;
         std::memcpy(&v, data_.data() + offset, 4);
         return v;
@@ -79,14 +118,19 @@ class Memory
     void
     write32(u32 offset, u32 value)
     {
-        checkRange(offset, 4);
+        if (static_cast<size_t>(offset) + 4 > data_.size())
+            materialize(offset, 4);
         std::memcpy(data_.data() + offset, &value, 4);
     }
 
     u64
     read64(u32 offset) const
     {
-        checkRange(offset, 8);
+        if (static_cast<size_t>(offset) + 8 > data_.size()) {
+            u64 v;
+            readSparse(offset, &v, 8);
+            return v;
+        }
         u64 v;
         std::memcpy(&v, data_.data() + offset, 8);
         return v;
@@ -95,42 +139,80 @@ class Memory
     void
     write64(u32 offset, u64 value)
     {
-        checkRange(offset, 8);
+        if (static_cast<size_t>(offset) + 8 > data_.size())
+            materialize(offset, 8);
         std::memcpy(data_.data() + offset, &value, 8);
     }
 
     void
     readBlock(u32 offset, void *dst, size_t n) const
     {
-        checkRange(offset, n);
+        if (static_cast<size_t>(offset) + n > data_.size()) {
+            readSparse(offset, dst, n);
+            return;
+        }
         std::memcpy(dst, data_.data() + offset, n);
     }
 
     void
     writeBlock(u32 offset, const void *src, size_t n)
     {
-        checkRange(offset, n);
+        if (static_cast<size_t>(offset) + n > data_.size())
+            materialize(offset, n);
         std::memcpy(data_.data() + offset, src, n);
     }
 
     void
     fill(u32 offset, u8 byte, size_t n)
     {
-        checkRange(offset, n);
+        if (static_cast<size_t>(offset) + n > data_.size())
+            materialize(offset, n);
         std::memset(data_.data() + offset, byte, n);
     }
     /** @} */
 
   private:
+    /** Minimum materialization step, to amortize vector growth. */
+    static constexpr size_t kGrowQuantum = 64 * 1024;
+
     void
     checkRange(u32 offset, size_t n) const
     {
-        panicIf(static_cast<size_t>(offset) + n > data_.size(),
+        panicIf(static_cast<size_t>(offset) + n > capacity_,
                 tierName(tier_), " access out of range: offset ", offset,
-                " size ", n, " capacity ", data_.size());
+                " size ", n, " capacity ", capacity_);
+    }
+
+    /** Read [offset, offset+n) when it extends past the materialized
+     * extent: the unbacked suffix reads as zero. */
+    void
+    readSparse(u32 offset, void *dst, size_t n) const
+    {
+        checkRange(offset, n);
+        const size_t avail =
+            offset < data_.size() ? data_.size() - offset : 0;
+        const size_t take = std::min(avail, n);
+        if (take > 0)
+            std::memcpy(dst, data_.data() + offset, take);
+        std::memset(static_cast<char *>(dst) + take, 0, n - take);
+    }
+
+    /** Grow the backing so [offset, offset+n) is materialized. New
+     * bytes are zero-filled; growth is geometric with a 64 KB floor so
+     * repeated small writes do not pay repeated copies. */
+    void
+    materialize(u32 offset, size_t n)
+    {
+        checkRange(offset, n);
+        const size_t end = static_cast<size_t>(offset) + n;
+        const size_t target = std::max(
+            end, std::min(capacity_,
+                          std::max(data_.size() * 2, kGrowQuantum)));
+        data_.resize(target); // value-initializes (zeros) the new tail
     }
 
     Tier tier_;
+    size_t capacity_;
     std::vector<u8> data_;
     size_t brk_ = 0;
 };

@@ -1,0 +1,36 @@
+#include "util/host_alloc.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
+
+namespace pimstm::util
+{
+
+void
+tuneHostAllocator()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *env = std::getenv("PIMSTM_NO_MALLOC_TUNE")) {
+            if (std::strcmp(env, "0") != 0)
+                return;
+        }
+#ifdef __GLIBC__
+        // 32 MB covers the largest per-sweep-point allocation (STM
+        // metadata, index tables) and the common materialized extent
+        // of a pooled MRAM tier. Setting the thresholds explicitly
+        // also disables glibc's dynamic adjustment, so behaviour does
+        // not depend on allocation order.
+        constexpr int kThreshold = 32 * 1024 * 1024;
+        mallopt(M_MMAP_THRESHOLD, kThreshold);
+        mallopt(M_TRIM_THRESHOLD, kThreshold);
+#endif
+    });
+}
+
+} // namespace pimstm::util
