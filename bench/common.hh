@@ -16,6 +16,17 @@
  *   --perf-json=F  write a host-performance artifact (wall-clock and
  *                  simulated cycles/sec per sweep point) to F on exit;
  *                  never affects the simulated output
+ *   --faults=SPEC  deterministic fault-injection plan (grammar in
+ *                  docs/robustness.md); default empty = no injection
+ *                  and bitwise-identical output
+ *   --watchdog-cycles=N  abort with a diagnostic dump and exit code 3
+ *                  when no transaction commits for N simulated cycles
+ *                  (0 = off; deadlock detection is always on)
+ *   --serial-fallback=K  escalate a transaction to serial-irrevocable
+ *                  mode after K consecutive aborts (0 = off, the
+ *                  paper's behaviour)
+ *
+ * Unknown --flags are rejected with exit code 2.
  */
 
 #ifndef PIMSTM_BENCH_COMMON_HH
@@ -37,6 +48,8 @@
 
 #include "runtime/dpu_pool.hh"
 #include "runtime/driver.hh"
+#include "sim/fault.hh"
+#include "util/logging.hh"
 #include "util/stats_math.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -148,6 +161,7 @@ class PerfReporter
         }
         const auto pool = runtime::DpuPool::global().stats();
         const auto idx = core::txIndexTotals();
+        const auto flt = sim::faultTotals();
         out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
@@ -164,7 +178,14 @@ class PerfReporter
                     ? static_cast<double>(idx.probes) /
                           static_cast<double>(idx.lookups)
                     : 0)
-            << ", \"txindex_max_probe\": " << idx.max_probe << "},\n"
+            << ", \"txindex_max_probe\": " << idx.max_probe
+            << ", \"faults\": {"
+            << "\"injected_stalls\": " << flt.injected_stalls
+            << ", \"injected_acq_delays\": " << flt.injected_acq_delays
+            << ", \"tasklet_crashes\": " << flt.tasklet_crashes
+            << ", \"injected_aborts\": " << flt.injected_aborts
+            << ", \"escalations\": " << flt.escalations
+            << ", \"serial_commits\": " << flt.serial_commits << "}},\n"
             << "  \"totals\": {"
             << "\"wall_s\": " << wall
             << ", \"sim_cycles\": " << cycles
@@ -219,15 +240,28 @@ struct BenchOptions
     unsigned jobs = 0;
     /** Perf-artifact output file; empty = disabled. */
     std::string perf_json;
+    /** Fault-injection plan from --faults= (empty = no injection). */
+    sim::FaultPlan faults;
+    /** Livelock watchdog budget from --watchdog-cycles= (0 = off). */
+    Cycles watchdog_cycles = 0;
+    /** Serial-irrevocable escalation threshold from --serial-fallback=
+     * (0 = off, preserving the paper's algorithms unmodified). */
+    unsigned serial_fallback = 0;
+
+    /** Hook for harness-specific flags: return true when the argument
+     * was recognised and consumed. Checked before the unknown-flag
+     * rejection, so harnesses can extend the common grammar. */
+    using ExtraFlag = std::function<bool(const std::string &)>;
 
     /**
-     * Parse @p argv; on a malformed numeric flag, print a diagnostic
-     * and exit(2) instead of dying on an unhandled exception. Also
-     * sizes the global util::ThreadPool from --jobs / PIMSTM_JOBS, so
-     * harnesses need no extra setup to run parallel sweeps.
+     * Parse @p argv; on a malformed or unknown flag, print a
+     * diagnostic and exit(2) instead of silently continuing with a
+     * configuration the user did not ask for. Also sizes the global
+     * util::ThreadPool from --jobs / PIMSTM_JOBS, so harnesses need no
+     * extra setup to run parallel sweeps.
      */
     static BenchOptions
-    parse(int argc, char **argv)
+    parse(int argc, char **argv, const ExtraFlag &extra = {})
     {
         BenchOptions o;
         if (const char *env = std::getenv("PIMSTM_FULL"))
@@ -250,8 +284,27 @@ struct BenchOptions
                 o.perf_json = a.substr(std::strlen("--perf-json="));
                 if (o.perf_json.empty())
                     usageError(argv[0], a, "expected a file name");
+            } else if (a.rfind("--faults=", 0) == 0) {
+                try {
+                    o.faults = sim::FaultPlan::parse(
+                        a.substr(std::strlen("--faults=")));
+                } catch (const FatalError &e) {
+                    usageError(argv[0], a, e.what());
+                }
+            } else if (a.rfind("--watchdog-cycles=", 0) == 0) {
+                o.watchdog_cycles =
+                    parseU64(argv[0], a, "--watchdog-cycles=");
+                if (o.watchdog_cycles == 0)
+                    usageError(argv[0], a, "must be at least 1");
+            } else if (a.rfind("--serial-fallback=", 0) == 0) {
+                o.serial_fallback =
+                    parseUnsigned(argv[0], a, "--serial-fallback=");
+                if (o.serial_fallback == 0)
+                    usageError(argv[0], a, "must be at least 1");
+            } else if (extra && extra(a)) {
+                // consumed by the harness-specific hook
             } else
-                std::cerr << "ignoring unknown option " << a << "\n";
+                usageError(argv[0], a, "unknown option");
         }
         if (o.seeds == 0)
             o.seeds = 1;
@@ -264,6 +317,17 @@ struct BenchOptions
             PerfReporter::instance().enable(o.perf_json, prog);
         }
         return o;
+    }
+
+    /** Copy the robustness flags into a RunSpec (sweep base config). */
+    void
+    applyTo(runtime::RunSpec &spec) const
+    {
+        spec.faults = faults;
+        if (watchdog_cycles != 0)
+            spec.watchdog_cycles = watchdog_cycles;
+        if (serial_fallback != 0)
+            spec.serial_fallback_override = serial_fallback;
     }
 
   private:
@@ -291,7 +355,41 @@ struct BenchOptions
                        "expected an unsigned decimal integer");
         return out;
     }
+
+    /** Strict 64-bit decimal parse of the value after @p prefix. */
+    static u64
+    parseU64(const char *prog, const std::string &arg,
+             const char *prefix)
+    {
+        const std::string v = arg.substr(std::strlen(prefix));
+        u64 out = 0;
+        const char *first = v.data();
+        const char *last = v.data() + v.size();
+        const auto [ptr, ec] = std::from_chars(first, last, out);
+        if (v.empty() || ec != std::errc() || ptr != last)
+            usageError(prog, arg,
+                       "expected an unsigned decimal integer");
+        return out;
+    }
 };
+
+/**
+ * Run a harness body with the robustness layer's failure protocol: a
+ * WatchdogError (deadlock / livelock verdict) prints its structured
+ * diagnostic dump to stderr and exits with sim::kWatchdogExitCode (3),
+ * distinct from generic failure (1) and usage errors (2), so CI and
+ * scripts can tell "the workload wedged" from "the harness broke".
+ */
+inline int
+guardedMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const sim::WatchdogError &e) {
+        std::cerr << e.what();
+        return sim::kWatchdogExitCode;
+    }
+}
 
 /** Aggregated multi-seed result at one sweep point. */
 struct PointResult
@@ -430,10 +528,13 @@ sweepKinds(const std::string &title, const WorkloadFactory &factory,
         for (unsigned t : taskletSeries(opt.full))
             points.push_back({kind, t});
 
+    runtime::RunSpec spec_base = base;
+    opt.applyTo(spec_base);
+
     std::vector<PointResult> results(points.size());
     util::parallelFor(points.size(), [&](size_t i) {
         results[i] = runPoint(factory, points[i].kind, tier,
-                              points[i].tasklets, opt.seeds, base);
+                              points[i].tasklets, opt.seeds, spec_base);
     });
 
     Table table({"stm", "tasklets", "tput_tx_per_s", "stddev",

@@ -16,8 +16,8 @@ using namespace pimstm;
 using namespace pimstm::bench;
 using namespace pimstm::workloads;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const u32 ops = opt.full ? 100 : 40;
@@ -50,4 +50,10 @@ main(int argc, char **argv)
         [&] { return std::make_unique<LinkedList>(ll); },
         core::MetadataTier::Mram, opt, base);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return run(argc, argv); });
 }

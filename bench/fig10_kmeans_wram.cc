@@ -19,8 +19,8 @@ using namespace pimstm;
 using namespace pimstm::bench;
 using namespace pimstm::workloads;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const u32 points = opt.full ? 24 : 8;
@@ -44,4 +44,10 @@ main(int argc, char **argv)
         },
         core::MetadataTier::Wram, opt, base);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return run(argc, argv); });
 }

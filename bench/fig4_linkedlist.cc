@@ -17,8 +17,8 @@ using namespace pimstm;
 using namespace pimstm::bench;
 using namespace pimstm::workloads;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const u32 ops = opt.full ? 100 : 40;
@@ -42,4 +42,10 @@ main(int argc, char **argv)
         },
         core::MetadataTier::Mram, opt, base);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return run(argc, argv); });
 }

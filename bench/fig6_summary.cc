@@ -75,14 +75,15 @@ workloadSet(const BenchOptions &opt)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const auto workloads = workloadSet(opt);
 
     runtime::RunSpec base;
     base.mram_bytes = 8 * 1024 * 1024;
+    opt.applyTo(base);
 
     // peak[workload][kind][tier]
     std::map<std::string, std::map<core::StmKind, std::map<int, double>>>
@@ -193,4 +194,10 @@ main(int argc, char **argv)
     else
         table.printText(std::cout);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return run(argc, argv); });
 }

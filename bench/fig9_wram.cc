@@ -21,8 +21,8 @@ using namespace pimstm;
 using namespace pimstm::bench;
 using namespace pimstm::workloads;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const u32 tx_a = opt.full ? 30 : 8;
@@ -64,4 +64,10 @@ main(int argc, char **argv)
         },
         core::MetadataTier::Wram, opt, base);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return run(argc, argv); });
 }

@@ -1,5 +1,7 @@
 #include "core/norec.hh"
 
+#include <ostream>
+
 namespace pimstm::core
 {
 
@@ -143,6 +145,14 @@ void
 NOrecStm::doAbortCleanup(DpuContext &, TxDescriptor &)
 {
     // Write-back with commit-time locking: nothing to undo or release.
+}
+
+void
+NOrecStm::dumpOwnership(std::ostream &os) const
+{
+    os << "    seqlock=" << seqlock_
+       << ((seqlock_ & 1) != 0 ? " (held: commit in progress)" : " (free)")
+       << "\n";
 }
 
 } // namespace pimstm::core

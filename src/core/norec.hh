@@ -34,6 +34,16 @@ class NOrecStm : public Stm
     /** Current sequence-lock value (tests only). */
     u64 seqlock() const { return seqlock_; }
 
+    /** The sequence lock is NOrec's only ownership record: held while
+     * odd (a write-back in progress). */
+    unsigned
+    heldOwnershipCount() const override
+    {
+        return (seqlock_ & 1) != 0 ? 1 : 0;
+    }
+
+    void dumpOwnership(std::ostream &os) const override;
+
   protected:
     void doStart(DpuContext &ctx, TxDescriptor &tx) override;
     u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;

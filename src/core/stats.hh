@@ -63,6 +63,21 @@ struct StmStats
     u64 read_only_commits = 0;
 
     /**
+     * @{ Robustness counters (zero unless fault injection or the
+     * serial-irrevocable fallback is enabled).
+     */
+    /** Transactions escalated to serial-irrevocable mode. */
+    u64 escalations = 0;
+    /** Commits completed in serial-irrevocable mode. */
+    u64 serial_commits = 0;
+    /** Spurious validation-failure aborts injected by a FaultPlan
+     * (also counted under aborts / abort_reasons[ValidationFail]). */
+    u64 injected_aborts = 0;
+    /** Injected tasklet crashes delivered at an STM operation. */
+    u64 crashes = 0;
+    /** @} */
+
+    /**
      * Abort rate as the paper plots it: aborted executions over all
      * transaction executions (commits + aborts).
      */
@@ -88,6 +103,10 @@ struct StmStats
         validations += o.validations;
         extensions += o.extensions;
         read_only_commits += o.read_only_commits;
+        escalations += o.escalations;
+        serial_commits += o.serial_commits;
+        injected_aborts += o.injected_aborts;
+        crashes += o.crashes;
         return *this;
     }
 };

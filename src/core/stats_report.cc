@@ -63,6 +63,14 @@ printReport(std::ostream &os, const StmStats &stm,
        << stm.extensions << " extensions, " << stm.read_only_commits
        << " read-only commits\n";
 
+    if (stm.escalations > 0 || stm.serial_commits > 0 ||
+        stm.injected_aborts > 0 || stm.crashes > 0) {
+        os << "  robustness: " << stm.escalations
+           << " escalations, " << stm.serial_commits
+           << " serial commits, " << stm.injected_aborts
+           << " injected aborts, " << stm.crashes << " crashes\n";
+    }
+
     if (stm.aborts > 0) {
         os << "  abort reasons:";
         for (size_t r = 0; r < kNumAbortReasons; ++r) {

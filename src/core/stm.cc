@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <ostream>
 
 #include "util/logging.hh"
 
@@ -137,6 +138,7 @@ Stm::Stm(sim::Dpu &dpu, const StmConfig &cfg)
 
 Stm::~Stm()
 {
+    dpu_.removeDiagnostic(this);
     for (const auto &tx : descriptors_)
         accumulateIndexStats(tx.indexStats());
 }
@@ -155,6 +157,30 @@ Stm::finalizeLayout()
     panicIf(layout_done_, "finalizeLayout called twice");
     reserveMetadata();
     layout_done_ = true;
+    // The watchdog's diagnostic dump includes this instance's held
+    // ownership records and abort histogram. Registered here (not the
+    // base ctor) so the virtuals dispatch on the concrete class.
+    dpu_.addDiagnostic(this,
+                       [this](std::ostream &os) { dumpDiagnostics(os); });
+}
+
+void
+Stm::dumpDiagnostics(std::ostream &os) const
+{
+    os << "  [stm " << name() << "] held ownership records: "
+       << heldOwnershipCount() << "\n";
+    dumpOwnership(os);
+    os << "    commits=" << stats_.commits << " aborts=" << stats_.aborts
+       << " escalations=" << stats_.escalations
+       << " serial_commits=" << stats_.serial_commits << "\n";
+    os << "    aborts by reason:";
+    for (size_t r = 0; r < kNumAbortReasons; ++r) {
+        if (stats_.abort_reasons[r] == 0)
+            continue;
+        os << " " << abortReasonName(static_cast<AbortReason>(r)) << "="
+           << stats_.abort_reasons[r];
+    }
+    os << "\n";
 }
 
 void
@@ -252,24 +278,113 @@ Stm::scanCost(DpuContext &ctx, size_t entries, size_t entry_bytes)
 }
 
 void
+Stm::maybeInjectFault(DpuContext &ctx, TxDescriptor &tx, bool can_abort,
+                      bool in_tx)
+{
+    sim::FaultInjector *fi = dpu_.faultInjector();
+    // Serial-irrevocable transactions are exempt: they are the
+    // termination guarantee under injected abort storms, and undoing
+    // their direct writes after a crash would be impossible.
+    if (fi == nullptr || tx.irrevocable)
+        return;
+    switch (fi->onStmOp(tx.tasklet(), can_abort)) {
+      case sim::StmFault::None:
+        return;
+      case sim::StmFault::SpuriousAbort:
+        ++stats_.injected_aborts;
+        txAbort(ctx, tx, AbortReason::ValidationFail);
+      case sim::StmFault::Crash:
+        crashOut(ctx, tx, in_tx);
+    }
+}
+
+void
+Stm::crashOut(DpuContext &ctx, TxDescriptor &tx, bool in_tx)
+{
+    ++stats_.crashes;
+    if (in_tx) {
+        // Clean termination mid-transaction: release every lock / ORec
+        // the transaction holds, exactly as an abort would.
+        doAbortCleanup(ctx, tx);
+        --active_txs_;
+        ctx.txAccountingAbort();
+    }
+    ctx.setPhase(sim::Phase::NonTx);
+    throw sim::TaskletCrashException{tx.tasklet()};
+}
+
+void
+Stm::acquireSerialToken(DpuContext &ctx, TxDescriptor &tx)
+{
+    // Win the global token. The token word is host state guarded by an
+    // atomic-register bracket (so the claim itself is a scheduling
+    // point with real cost, like any CAS emulation in the library).
+    for (;;) {
+        ctx.acquire(kSerialTokenKey);
+        const bool won = serial_owner_ < 0;
+        if (won)
+            serial_owner_ = static_cast<int>(tx.tasklet());
+        ctx.release(kSerialTokenKey);
+        if (won)
+            break;
+        ctx.delay(cfg_.serial_wait_cycles);
+    }
+    // Quiesce: new transactions now park in txStart, so waiting for the
+    // in-flight count to drain gives this tasklet exclusive access.
+    // Every in-flight transaction finishes in bounded simulated time
+    // (all STM waits are bounded polls), so this loop terminates.
+    while (active_txs_ != 0)
+        ctx.delay(cfg_.serial_wait_cycles);
+}
+
+void
+Stm::releaseSerialToken(DpuContext &ctx, TxDescriptor &tx)
+{
+    ctx.acquire(kSerialTokenKey);
+    panicIf(serial_owner_ != static_cast<int>(tx.tasklet()),
+            "serial token released by a non-owner");
+    serial_owner_ = -1;
+    ctx.release(kSerialTokenKey);
+}
+
+void
 Stm::txStart(DpuContext &ctx, TxDescriptor &tx)
 {
     panicIf(!layout_done_, "STM used before finalizeLayout");
+    maybeInjectFault(ctx, tx, /*can_abort=*/false, /*in_tx=*/false);
     ctx.txAccountingBegin();
     ctx.setPhase(sim::Phase::TxStart);
+    const bool escalate = cfg_.serial_fallback_after != 0
+        && tx.retries >= cfg_.serial_fallback_after;
+    if (escalate) {
+        acquireSerialToken(ctx, tx);
+    } else {
+        // While a serial-irrevocable transaction is running, new ones
+        // park here; a single always-false compare when the fallback
+        // is disabled.
+        while (serial_owner_ >= 0)
+            ctx.delay(cfg_.serial_wait_cycles);
+    }
     ++stats_.starts;
     if (cfg_.trace)
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Start);
+    ++active_txs_;
     tx.reset();
-    doStart(ctx, tx);
+    if (escalate) {
+        tx.irrevocable = true;
+        ++stats_.escalations;
+    } else {
+        doStart(ctx, tx);
+    }
     ctx.setPhase(sim::Phase::TxOther);
 }
 
 u32
 Stm::txRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
 {
+    maybeInjectFault(ctx, tx, /*can_abort=*/true, /*in_tx=*/true);
     ctx.setPhase(sim::Phase::TxRead);
-    const u32 v = doRead(ctx, tx, a);
+    const u32 v = tx.irrevocable ? ctx.read32(a) : doRead(ctx, tx, a);
     ++stats_.reads;
     if (cfg_.trace)
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Read, a);
@@ -280,8 +395,12 @@ Stm::txRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
 void
 Stm::txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
 {
+    maybeInjectFault(ctx, tx, /*can_abort=*/true, /*in_tx=*/true);
     ctx.setPhase(sim::Phase::TxWrite);
-    doWrite(ctx, tx, a, v);
+    if (tx.irrevocable)
+        ctx.write32(a, v); // exclusive access: write in place
+    else
+        doWrite(ctx, tx, a, v);
     tx.read_only = false;
     ++stats_.writes;
     if (cfg_.trace)
@@ -292,14 +411,25 @@ Stm::txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
 void
 Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
 {
+    maybeInjectFault(ctx, tx, /*can_abort=*/true, /*in_tx=*/true);
     ctx.setPhase(sim::Phase::TxCommit);
-    doCommit(ctx, tx);
+    if (tx.irrevocable) {
+        // Direct writes are already in memory; committing is just
+        // handing the token back.
+        releaseSerialToken(ctx, tx);
+        ++stats_.serial_commits;
+    } else {
+        doCommit(ctx, tx);
+    }
     ++stats_.commits;
     if (cfg_.trace)
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Commit);
     if (tx.read_only)
         ++stats_.read_only_commits;
     tx.retries = 0;
+    tx.irrevocable = false;
+    --active_txs_;
+    dpu_.noteProgress();
     ctx.txAccountingCommit();
     ctx.setPhase(sim::Phase::NonTx);
 }
@@ -307,6 +437,15 @@ Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
 void
 Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason)
 {
+    if (tx.irrevocable) {
+        // Only TxHandle::retry() can reach here — conflict aborts are
+        // impossible in serial mode and injection is suppressed. The
+        // direct writes cannot be undone, so this is a misuse, not a
+        // recoverable state.
+        panic("TxHandle::retry() inside a serial-irrevocable transaction; "
+              "serial_fallback_after is incompatible with retry()-based "
+              "atomic blocks");
+    }
     doAbortCleanup(ctx, tx);
     ++stats_.aborts;
     ++stats_.abort_reasons[static_cast<size_t>(reason)];
@@ -315,6 +454,7 @@ Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason)
                            static_cast<u32>(reason));
     }
     ++tx.retries;
+    --active_txs_;
     ctx.txAccountingAbort();
     if (cfg_.abort_backoff) {
         // Randomized exponential back-off: breaks deterministic

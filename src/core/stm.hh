@@ -28,6 +28,7 @@
 #ifndef PIMSTM_CORE_STM_HH
 #define PIMSTM_CORE_STM_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -139,6 +140,23 @@ struct StmConfig
     bool abort_backoff = true;
     Cycles abort_backoff_base = 16;
     unsigned abort_backoff_max_shift = 12;
+
+    /**
+     * Graceful degradation: after this many consecutive aborts of one
+     * atomic block, the transaction escalates to serial-irrevocable
+     * mode — it acquires a global token, waits for in-flight
+     * transactions to drain, then runs with direct (uninstrumented)
+     * accesses and cannot abort, guaranteeing termination under abort
+     * storms for every STM kind. 0 (the default) disables escalation
+     * and preserves the paper's behaviour exactly. Incompatible with
+     * TxHandle::retry() inside the escalated block (direct writes
+     * cannot be undone); see docs/robustness.md.
+     */
+    unsigned serial_fallback_after = 0;
+
+    /** Poll interval while waiting for the serial token to free / for
+     * in-flight transactions to quiesce. */
+    Cycles serial_wait_cycles = 128;
 
     /** Optional transaction event trace (not owned; may be null). */
     TraceBuffer *trace = nullptr;
@@ -261,6 +279,17 @@ class Stm
     size_t metadataBytesWram() const { return meta_bytes_wram_; }
     size_t metadataBytesMram() const { return meta_bytes_mram_; }
 
+    /**
+     * @{ Robustness introspection. The count is the number of ownership
+     * records (seqlock / ORecs / rw-lock words) currently held by any
+     * transaction — 0 when quiescent, which the crash-injection tests
+     * assert after a mid-transaction crash. dumpOwnership appends one
+     * line per held record to the watchdog's diagnostic dump.
+     */
+    virtual unsigned heldOwnershipCount() const { return 0; }
+    virtual void dumpOwnership(std::ostream &os) const { (void)os; }
+    /** @} */
+
   protected:
     /** @{ Algorithm hooks. doCommit/doRead/doWrite may abort by calling
      * txAbort(), which cleans up via doAbortCleanup() and throws. */
@@ -326,6 +355,33 @@ class Stm
     size_t meta_bytes_wram_ = 0;
     size_t meta_bytes_mram_ = 0;
     bool layout_done_ = false;
+
+    /** Atomic-register key of the serial-irrevocable global token. */
+    static constexpr u32 kSerialTokenKey = 0x5e71a1bcu;
+
+    /** Fault hook shared by the tx wrappers: counts one STM operation
+     * and delivers an injected crash or spurious abort (both throw). */
+    void maybeInjectFault(DpuContext &ctx, TxDescriptor &tx,
+                          bool can_abort, bool in_tx);
+
+    /** Terminate the calling tasklet with an injected crash, releasing
+     * all transaction-held metadata first. */
+    [[noreturn]] void crashOut(DpuContext &ctx, TxDescriptor &tx,
+                               bool in_tx);
+
+    /** @{ Serial-irrevocable escalation protocol (docs/robustness.md). */
+    void acquireSerialToken(DpuContext &ctx, TxDescriptor &tx);
+    void releaseSerialToken(DpuContext &ctx, TxDescriptor &tx);
+    /** @} */
+
+    /** Watchdog diagnostic callback body (registered with the DPU). */
+    void dumpDiagnostics(std::ostream &os) const;
+
+    /** Tasklet id currently holding the serial token, -1 when free. */
+    int serial_owner_ = -1;
+
+    /** Transactions between txStart and commit/abort (quiesce count). */
+    unsigned active_txs_ = 0;
 
   protected:
     /** Must be invoked at the end of every concrete constructor. */

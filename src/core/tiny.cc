@@ -1,5 +1,7 @@
 #include "core/tiny.hh"
 
+#include <ostream>
+
 #include "util/logging.hh"
 
 namespace pimstm::core
@@ -301,6 +303,31 @@ TinyStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
         lockTableWrite(ctx, 8);
     }
     tx.locks.clear();
+}
+
+unsigned
+TinyStm::heldOwnershipCount() const
+{
+    unsigned held = 0;
+    for (const Orec &o : table_)
+        held += o.locked ? 1 : 0;
+    return held;
+}
+
+void
+TinyStm::dumpOwnership(std::ostream &os) const
+{
+    // Cap the listing: the table can have 64K entries, the dump is for
+    // humans.
+    unsigned listed = 0;
+    for (u32 i = 0; i < table_.size() && listed < 16; ++i) {
+        if (!table_[i].locked)
+            continue;
+        os << "    orec " << i << ": locked by tasklet "
+           << static_cast<unsigned>(table_[i].owner) << " (version "
+           << table_[i].version << ")\n";
+        ++listed;
+    }
 }
 
 } // namespace pimstm::core

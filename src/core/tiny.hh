@@ -46,6 +46,11 @@ class TinyStm : public Stm
     bool orecLocked(u32 index) const { return table_[index].locked; }
     u64 orecVersion(u32 index) const { return table_[index].version; }
 
+    /** Locked ORecs in the table (0 when quiescent). */
+    unsigned heldOwnershipCount() const override;
+
+    void dumpOwnership(std::ostream &os) const override;
+
   protected:
     void doStart(DpuContext &ctx, TxDescriptor &tx) override;
     u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;

@@ -99,6 +99,7 @@ class TxDescriptor
         snapshot = 0;
         upper = 0;
         read_only = true;
+        irrevocable = false;
     }
 
     /** Append to the read set, enforcing the reserved capacity. */
@@ -210,6 +211,11 @@ class TxDescriptor
     /** Consecutive aborts of the current atomic block (drives the
      * randomized retry back-off; cleared on commit, not by reset()). */
     u64 retries = 0;
+
+    /** True while running in serial-irrevocable mode: the tasklet holds
+     * the global token, accesses go direct, and the transaction cannot
+     * abort (StmConfig::serial_fallback_after). */
+    bool irrevocable = false;
 
   private:
     inline static std::atomic<bool> cross_check_{false};

@@ -1,5 +1,7 @@
 #include "core/vr.hh"
 
+#include <ostream>
+
 #include "core/rw_lock.hh"
 #include "util/logging.hh"
 
@@ -244,6 +246,33 @@ VrStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
         }
     }
     releaseAll(ctx, tx);
+}
+
+unsigned
+VrStm::heldOwnershipCount() const
+{
+    unsigned held = 0;
+    for (u32 w : table_)
+        held += rwlock::isFree(w) ? 0 : 1;
+    return held;
+}
+
+void
+VrStm::dumpOwnership(std::ostream &os) const
+{
+    unsigned listed = 0;
+    for (u32 i = 0; i < table_.size() && listed < 16; ++i) {
+        const u32 w = table_[i];
+        if (rwlock::isFree(w))
+            continue;
+        os << "    rwlock " << i << ": ";
+        if (rwlock::isWrite(w))
+            os << "write-owned by tasklet " << rwlock::writeOwner(w);
+        else
+            os << rwlock::readerCount(w) << " reader(s)";
+        os << "\n";
+        ++listed;
+    }
 }
 
 } // namespace pimstm::core

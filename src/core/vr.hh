@@ -40,6 +40,11 @@ class VrStm : public Stm
     /** Raw lock word (tests only). */
     u32 lockWord(u32 index) const { return table_[index]; }
 
+    /** Non-free rw-lock words in the table (0 when quiescent). */
+    unsigned heldOwnershipCount() const override;
+
+    void dumpOwnership(std::ostream &os) const override;
+
   protected:
     void doStart(DpuContext &ctx, TxDescriptor &tx) override;
     u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;

@@ -20,6 +20,8 @@ runWorkload(Workload &workload, const RunSpec &spec)
     dpu_cfg.mram_bytes = spec.mram_bytes;
     dpu_cfg.seed = spec.seed;
     dpu_cfg.always_switch = spec.sim_always_switch;
+    dpu_cfg.faults = spec.faults;
+    dpu_cfg.watchdog_cycles = spec.watchdog_cycles;
     if (spec.atomic_bits_override)
         dpu_cfg.atomic_bits = spec.atomic_bits_override;
 
@@ -42,6 +44,8 @@ runWorkload(Workload &workload, const RunSpec &spec)
     if (spec.cm_wait_polls_override >= 0)
         stm_cfg.cm_wait_polls =
             static_cast<unsigned>(spec.cm_wait_polls_override);
+    if (spec.serial_fallback_override)
+        stm_cfg.serial_fallback_after = spec.serial_fallback_override;
 
     // May throw FatalError when the placement is infeasible — that is
     // the paper's "cannot run with WRAM metadata" case.
@@ -78,6 +82,17 @@ runWorkload(Workload &workload, const RunSpec &spec)
                 static_cast<double>(busy);
         }
     }
+
+    // Fold this run's robustness counters into the process-wide totals
+    // surfaced by --perf-json (host observability only).
+    sim::FaultTotals ft;
+    ft.injected_stalls = r.dpu.injected_stalls;
+    ft.injected_acq_delays = r.dpu.injected_acq_delays;
+    ft.tasklet_crashes = r.dpu.tasklet_crashes;
+    ft.injected_aborts = r.stm.injected_aborts;
+    ft.escalations = r.stm.escalations;
+    ft.serial_commits = r.stm.serial_commits;
+    sim::accumulateFaultTotals(ft);
 
     // The STM (which references the DPU) must be gone before the DPU
     // can be handed to another sweep point.

@@ -75,6 +75,13 @@ struct RunSpec
 
     sim::TimingConfig timing{};
 
+    /** Deterministic fault-injection plan (empty = no injection; see
+     * docs/robustness.md). */
+    sim::FaultPlan faults;
+
+    /** Livelock watchdog budget in cycles (0 = off). */
+    Cycles watchdog_cycles = 0;
+
     /** Overrides applied to the workload-configured StmConfig
      * (0 = keep workload/default value). */
     u32 lock_table_entries_override = 0;
@@ -82,6 +89,9 @@ struct RunSpec
     unsigned atomic_bits_override = 0;  // 0 keep hardware 256
     /** Wait-on-contention polls (-1 keep workload/default). */
     int cm_wait_polls_override = -1;
+    /** Serial-irrevocable fallback threshold (0 = keep workload/default,
+     * i.e. off — StmConfig::serial_fallback_after). */
+    unsigned serial_fallback_override = 0;
 };
 
 /** Result of one run. */

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "sim/fault.hh"
 #include "util/types.hh"
 
 namespace pimstm::sim
@@ -125,6 +126,18 @@ struct DpuConfig
 
     /** Base RNG seed for this DPU's tasklet streams. */
     u64 seed = 1;
+
+    /** Deterministic fault-injection plan (docs/robustness.md). The
+     * default empty plan builds no injector at all: behaviour and all
+     * stats stay bitwise identical to a fault-free build. */
+    FaultPlan faults;
+
+    /** Progress-watchdog budget: fail the run with WatchdogError
+     * (livelock) when no transaction commits on this DPU for this many
+     * simulated cycles. 0 disables the livelock watchdog; deadlock
+     * detection (all live tasklets blocked on the atomic register) is
+     * always on — it replaces what used to be an unattributed panic. */
+    Cycles watchdog_cycles = 0;
 
     /** Force a fiber switch on every timing charge instead of eliding
      * switches when the running tasklet stays the scheduler's next

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -77,6 +78,18 @@ DpuContext::compute(u64 instrs)
     dpu_.stats_.instructions += instrs;
     charge(phase_, cost);
     dpu_.consume(id_, cost, phase_);
+    if (FaultInjector *fi = dpu_.fault_injector_.get()) {
+        // Injected stall: the tasklet crossed a plan-listed instruction
+        // count. Delivered as an ordinary timing charge so blocked
+        // peers, the DMA engine and the watchdog all see it.
+        const Cycles stall = fi->onInstructions(id_, instrs);
+        if (stall != 0) {
+            ++dpu_.stats_.injected_stalls;
+            dpu_.stats_.injected_stall_cycles += stall;
+            charge(phase_, stall);
+            dpu_.consume(id_, stall, phase_);
+        }
+    }
 }
 
 u32
@@ -179,6 +192,15 @@ DpuContext::touchRandom(Tier tier, u64 count, size_t bytes_each,
 void
 DpuContext::acquire(u32 key)
 {
+    if (FaultInjector *fi = dpu_.fault_injector_.get()) {
+        const Cycles d = fi->acquireDelay(id_);
+        if (d != 0) {
+            ++dpu_.stats_.injected_acq_delays;
+            dpu_.stats_.injected_acq_delay_cycles += d;
+            charge(phase_, d);
+            dpu_.consume(id_, d, phase_);
+        }
+    }
     const unsigned bit = dpu_.atomic_reg_.bitFor(key);
     for (;;) {
         compute(dpu_.timing_.atomic_op_instrs);
@@ -260,6 +282,10 @@ Dpu::Dpu(const DpuConfig &cfg, const TimingConfig &timing)
 {
     always_switch_ = resolveAlwaysSwitch(cfg);
     ready_heap_.reserve(cfg.max_tasklets);
+    if (!cfg.faults.empty())
+        fault_injector_ =
+            std::make_unique<FaultInjector>(cfg.faults, cfg.max_tasklets);
+    watchdog_cycles_ = cfg.watchdog_cycles;
 }
 
 void
@@ -273,6 +299,11 @@ Dpu::recycle(const DpuConfig &cfg, const TimingConfig &timing)
     atomic_reg_.recycle(cfg.atomic_bits);
     always_switch_ = resolveAlwaysSwitch(cfg);
     ready_heap_.reserve(cfg.max_tasklets);
+    fault_injector_.reset();
+    if (!cfg.faults.empty())
+        fault_injector_ =
+            std::make_unique<FaultInjector>(cfg.faults, cfg.max_tasklets);
+    watchdog_cycles_ = cfg.watchdog_cycles;
     resetRun();
 }
 
@@ -292,8 +323,30 @@ Dpu::addTasklet(TaskletBody body)
     t.state = TaskletState::Ready;
     t.ready_at = 0;
     auto *ctx_ptr = t.ctx.get();
-    t.fiber->init(cfg_.fiber_stack_bytes,
-                  [body = std::move(body), ctx_ptr]() { body(*ctx_ptr); });
+    // Tasklet trampoline: anything escaping the body is attributed to
+    // its tasklet here, before the exception crosses the fiber switch —
+    // injected crashes terminate the tasklet cleanly, everything else
+    // is recorded as a DPU fault and rethrown on the host stack.
+    t.fiber->init(
+        cfg_.fiber_stack_bytes,
+        [body = std::move(body), ctx_ptr, this, tid]() {
+            try {
+                body(*ctx_ptr);
+            } catch (const TaskletCrashException &) {
+                // The STM released all held metadata before throwing;
+                // returning normally is a clean tasklet exit.
+                ++stats_.tasklet_crashes;
+                tasklet_faults_.push_back({tid, "injected crash", true});
+            } catch (const WatchdogError &) {
+                throw; // a scheduler verdict, not a tasklet fault
+            } catch (const std::exception &e) {
+                tasklet_faults_.push_back({tid, e.what(), false});
+                throw; // preserve the concrete type for callers
+            } catch (...) {
+                tasklet_faults_.push_back({tid, "unknown exception", false});
+                throw TaskletError(tid, "unknown exception");
+            }
+        });
     tasklets_.push_back(std::move(t));
     ++runnable_count_;
     return tid;
@@ -320,6 +373,10 @@ Dpu::resetRun()
     finished_count_ = 0;
     blocked_atomic_count_ = 0;
     ready_heap_.clear();
+    if (fault_injector_)
+        fault_injector_->reset();
+    watchdog_deadline_ = ~Cycles{0};
+    tasklet_faults_.clear();
 }
 
 Cycles
@@ -349,6 +406,12 @@ Dpu::currentStaysNext(unsigned tid, Cycles at) const
 void
 Dpu::consume(unsigned tid, Cycles cycles, Phase)
 {
+    // Livelock watchdog. The deadline is UINT64_MAX when disarmed, so
+    // the disabled fast path costs one never-taken compare. Checked
+    // here (not only in scheduleLoop) because elided charges can keep a
+    // tasklet running without ever returning to the scheduler.
+    if (now_ >= watchdog_deadline_)
+        watchdogFire(WatchdogError::Kind::Livelock);
     auto &t = tasklets_[tid];
     t.ready_at = now_ + cycles;
     // Fiber-switch elision: when this tasklet would be the scheduler's
@@ -516,9 +579,81 @@ Dpu::run()
     fatalIf(tasklets_.empty(), "Dpu::run with no tasklets");
     fatalIf(in_run_, "Dpu::run re-entered");
     in_run_ = true;
+    if (watchdog_cycles_ != 0)
+        watchdog_deadline_ = now_ + watchdog_cycles_;
     scheduleLoop();
     in_run_ = false;
     stats_.total_cycles = now_;
+}
+
+void
+Dpu::addDiagnostic(const void *key, std::function<void(std::ostream &)> fn)
+{
+    diagnostics_.emplace_back(key, std::move(fn));
+}
+
+void
+Dpu::removeDiagnostic(const void *key)
+{
+    diagnostics_.erase(
+        std::remove_if(diagnostics_.begin(), diagnostics_.end(),
+                       [key](const auto &d) { return d.first == key; }),
+        diagnostics_.end());
+}
+
+std::string
+Dpu::progressDump(const std::string &verdict) const
+{
+    static const char *const kStateNames[] = {"Ready", "BlockedAtomic",
+                                              "BlockedBarrier", "Finished"};
+    std::ostringstream os;
+    os << "watchdog: " << verdict << "\n";
+    os << "  cycle " << now_ << ", tasklets: " << numTasklets() << " total, "
+       << runnable_count_ << " runnable, " << blocked_atomic_count_
+       << " blocked on atomics, "
+       << (numTasklets() - runnable_count_ - blocked_atomic_count_
+           - finished_count_)
+       << " at the barrier, " << finished_count_ << " finished\n";
+    for (size_t i = 0; i < tasklets_.size(); ++i) {
+        const Tasklet &t = tasklets_[i];
+        os << "  tasklet " << i << ": "
+           << kStateNames[static_cast<size_t>(t.state)];
+        if (t.state == TaskletState::Ready)
+            os << " ready_at=" << t.ready_at;
+        else if (t.state == TaskletState::BlockedAtomic)
+            os << " waiting on atomic bit " << t.waiting_bit
+               << " (held by tasklet "
+               << atomic_reg_.holder(t.waiting_bit) << ") since cycle "
+               << t.blocked_since;
+        os << "\n";
+    }
+    bool any_held = false;
+    for (unsigned b = 0; b < atomic_reg_.numBits(); ++b) {
+        if (!atomic_reg_.isHeld(b))
+            continue;
+        if (!any_held)
+            os << "  atomic bits held:";
+        any_held = true;
+        os << " " << b << "->t" << atomic_reg_.holder(b);
+    }
+    if (any_held)
+        os << "\n";
+    for (const auto &d : diagnostics_)
+        d.second(os);
+    return os.str();
+}
+
+void
+Dpu::watchdogFire(WatchdogError::Kind kind)
+{
+    std::string verdict;
+    if (kind == WatchdogError::Kind::Deadlock) {
+        verdict = "deadlock — every live tasklet is blocked";
+    } else {
+        verdict = "livelock — no transaction committed for "
+            + std::to_string(watchdog_cycles_) + " cycles";
+    }
+    throw WatchdogError(kind, progressDump(verdict));
 }
 
 void
@@ -553,7 +688,10 @@ Dpu::scheduleLoop()
             // deadlocked on atomics / the barrier.
             if (finished_count_ == numTasklets())
                 return;
-            panic("DPU deadlock: tasklets blocked with none runnable");
+            // Every live tasklet is blocked (atomic register or
+            // barrier): a guaranteed deadlock. Fail with the full
+            // progress dump instead of the old unattributed panic.
+            watchdogFire(WatchdogError::Kind::Deadlock);
         }
         std::pop_heap(ready_heap_.begin(), ready_heap_.end(), laterThan);
         const ReadyEntry e = ready_heap_.back();

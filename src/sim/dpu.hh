@@ -29,6 +29,7 @@
 #define PIMSTM_SIM_DPU_HH
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "sim/addr.hh"
 #include "sim/atomic_register.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/fiber.hh"
 #include "sim/memory.hh"
 #include "sim/phase.hh"
@@ -71,6 +73,22 @@ struct DpuStats
     u64 atomic_stalls = 0;
     /** Cycles spent blocked on a held atomic bit, summed over tasklets. */
     Cycles atomic_stall_cycles = 0;
+
+    /**
+     * @{ Fault-injection counters (zero unless a FaultPlan is armed;
+     * simulated state, so they replay deterministically).
+     */
+    /** Injected tasklet stalls delivered. */
+    u64 injected_stalls = 0;
+    /** Cycles added by injected stalls. */
+    Cycles injected_stall_cycles = 0;
+    /** Injected atomic-register acquire delays delivered. */
+    u64 injected_acq_delays = 0;
+    /** Cycles added by injected acquire delays. */
+    Cycles injected_acq_delay_cycles = 0;
+    /** Tasklets terminated cleanly by an injected crash. */
+    u64 tasklet_crashes = 0;
+    /** @} */
 
     /**
      * @{ Host-side scheduler counters (not simulated time; excluded
@@ -258,6 +276,49 @@ class Dpu
      * cross-checking mode); false in the default elided mode. */
     bool alwaysSwitch() const { return always_switch_; }
 
+    /** Fault-delivery engine, or nullptr when the plan is empty (the
+     * common case — callers hook injection behind this null check). */
+    FaultInjector *faultInjector() { return fault_injector_.get(); }
+
+    /** A tasklet body that terminated abnormally during run(). */
+    struct TaskletFault
+    {
+        unsigned tasklet;
+        std::string message;
+        /** True for injected crashes (clean termination); false for
+         * escaped exceptions (the run fails with a TaskletError). */
+        bool injected_crash;
+    };
+
+    /** Faults recorded during the current / most recent run. */
+    const std::vector<TaskletFault> &taskletFaults() const
+    {
+        return tasklet_faults_;
+    }
+
+    /** Progress notification: an STM commit happened. Re-arms the
+     * livelock watchdog; a no-op (one branch) when it is disabled. */
+    void
+    noteProgress()
+    {
+        if (watchdog_cycles_ != 0)
+            watchdog_deadline_ = now_ + watchdog_cycles_;
+    }
+
+    /**
+     * @{ Diagnostic providers for the watchdog dump. An STM instance
+     * registers a callback describing its held ownership records and
+     * abort histogram; @p key (the instance address) unregisters it.
+     */
+    void addDiagnostic(const void *key,
+                       std::function<void(std::ostream &)> fn);
+    void removeDiagnostic(const void *key);
+    /** @} */
+
+    /** Structured progress dump (per-tasklet state, held atomic bits,
+     * registered STM diagnostics) as used in WatchdogError::what(). */
+    std::string progressDump(const std::string &verdict) const;
+
   private:
     friend class DpuContext;
 
@@ -340,6 +401,9 @@ class Dpu
     /** Release the barrier if every live tasklet has arrived. */
     void maybeReleaseBarrier();
 
+    /** Fail the run with a WatchdogError carrying the progress dump. */
+    [[noreturn]] void watchdogFire(WatchdogError::Kind kind);
+
     void scheduleLoop();
 
     DpuConfig cfg_;
@@ -368,6 +432,16 @@ class Dpu
     // Barrier state.
     unsigned barrier_count_ = 0;
     u64 barrier_generation_ = 0;
+
+    // Robustness layer. The injector exists only for non-empty plans;
+    // the livelock deadline is UINT64_MAX when the watchdog is off, so
+    // the hot-path check in consume() is a single always-false compare.
+    std::unique_ptr<FaultInjector> fault_injector_;
+    Cycles watchdog_cycles_ = 0;
+    Cycles watchdog_deadline_ = ~Cycles{0};
+    std::vector<TaskletFault> tasklet_faults_;
+    std::vector<std::pair<const void *, std::function<void(std::ostream &)>>>
+        diagnostics_;
 };
 
 } // namespace pimstm::sim

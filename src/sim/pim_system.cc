@@ -42,7 +42,14 @@ PimSystem::runAllSeconds()
     // anyway and output is identical for any --jobs value.
     std::vector<double> seconds(dpus_.size(), 0.0);
     util::parallelFor(dpus_.size(), [&](size_t i) {
-        dpus_[i]->run();
+        try {
+            dpus_[i]->run();
+        } catch (const WatchdogError &e) {
+            // Attribute the progress failure to its DPU before it
+            // propagates out of the multi-DPU run.
+            throw WatchdogError(e.kind(), "dpu " + std::to_string(i) +
+                                              ": " + e.what());
+        }
         seconds[i] =
             timing_.cyclesToSeconds(dpus_[i]->stats().total_cycles);
     });

@@ -144,9 +144,11 @@ class Serializability : public testing::TestWithParam<Param>
 {
 };
 
-} // namespace
-
-TEST_P(Serializability, RandomIncrementHistoriesAreSerializable)
+/** The increment-history protocol, optionally under fault injection
+ * (crash-free plans only: the history check needs every transaction to
+ * eventually commit). */
+void
+runIncrementHistoryCheck(const Param &param, const FaultPlan &faults)
 {
     constexpr u32 kCells = 12;
     constexpr unsigned kTasklets = 8;
@@ -155,11 +157,12 @@ TEST_P(Serializability, RandomIncrementHistoriesAreSerializable)
     DpuConfig dpu_cfg;
     dpu_cfg.mram_bytes = 1 * 1024 * 1024;
     dpu_cfg.seed = 2026;
+    dpu_cfg.faults = faults;
     Dpu dpu(dpu_cfg, TimingConfig{});
 
     StmConfig cfg;
-    cfg.kind = GetParam().kind;
-    cfg.metadata_tier = GetParam().tier;
+    cfg.kind = param.kind;
+    cfg.metadata_tier = param.tier;
     cfg.num_tasklets = kTasklets;
     cfg.max_read_set = 32;
     cfg.max_write_set = 16;
@@ -216,6 +219,24 @@ TEST_P(Serializability, RandomIncrementHistoriesAreSerializable)
             ++expected[cell];
     for (u32 c = 0; c < kCells; ++c)
         EXPECT_EQ(counters.peek(dpu, c), expected[c]) << "cell " << c;
+}
+
+} // namespace
+
+TEST_P(Serializability, RandomIncrementHistoriesAreSerializable)
+{
+    runIncrementHistoryCheck(GetParam(), FaultPlan{});
+}
+
+TEST_P(Serializability, HistoriesStaySerializableUnderFaultInjection)
+{
+    // Stalls, probabilistic acquire delays and spurious aborts shuffle
+    // the interleaving and force extra retries, but must never produce
+    // a non-serializable committed history.
+    runIncrementHistoryCheck(
+        GetParam(),
+        FaultPlan::parse("seed=5;stall=*@3000:500;stall=2@9000:1500;"
+                         "acq-delay=60:250;abort=30"));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, Serializability,
