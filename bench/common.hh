@@ -25,6 +25,17 @@
  *   --serial-fallback=K  escalate a transaction to serial-irrevocable
  *                  mode after K consecutive aborts (0 = off, the
  *                  paper's behaviour)
+ *   --trace        record per-run transaction/scheduler traces and
+ *                  export the aggregate `trace` block in --perf-json;
+ *                  host-only, simulated output is bitwise unchanged
+ *   --trace-out=F  stream every traced run to F in Chrome/Perfetto
+ *                  JSON array format (implies --trace)
+ *   --trace-buf=N  per-run trace ring capacity in records
+ *                  (default 4096; aggregates are unaffected by drops)
+ *
+ * The full flag/env-var reference lives in README.md §"Command-line
+ * flags and environment variables"; the trace format and perf-json
+ * schema are specified in docs/observability.md.
  *
  * Unknown --flags are rejected with exit code 2.
  */
@@ -32,6 +43,7 @@
 #ifndef PIMSTM_BENCH_COMMON_HH
 #define PIMSTM_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -162,6 +174,7 @@ class PerfReporter
         const auto pool = runtime::DpuPool::global().stats();
         const auto idx = core::txIndexTotals();
         const auto flt = sim::faultTotals();
+        const auto trc = core::traceTotals();
         out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
@@ -185,8 +198,10 @@ class PerfReporter
             << ", \"tasklet_crashes\": " << flt.tasklet_crashes
             << ", \"injected_aborts\": " << flt.injected_aborts
             << ", \"escalations\": " << flt.escalations
-            << ", \"serial_commits\": " << flt.serial_commits << "}},\n"
-            << "  \"totals\": {"
+            << ", \"serial_commits\": " << flt.serial_commits << "}},\n";
+        if (trc.runs > 0)
+            writeTraceBlock(out, trc);
+        out << "  \"totals\": {"
             << "\"wall_s\": " << wall
             << ", \"sim_cycles\": " << cycles
             << ", \"sim_cycles_per_wall_s\": "
@@ -223,10 +238,159 @@ class PerfReporter
         return out;
     }
 
+    /** One LogHistogram as JSON (nonzero buckets as [low, count]). */
+    static void
+    writeHistogram(std::ostream &out, const core::LogHistogram &h)
+    {
+        out << "{\"count\": " << h.count << ", \"sum\": " << h.sum
+            << ", \"mean\": " << h.mean()
+            << ", \"min\": " << (h.count > 0 ? h.min : 0)
+            << ", \"max\": " << h.max << ", \"buckets\": [";
+        bool first = true;
+        for (size_t b = 0; b < core::LogHistogram::kBuckets; ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            out << (first ? "" : ", ") << "["
+                << core::LogHistogram::bucketLow(b) << ", "
+                << h.buckets[b] << "]";
+            first = false;
+        }
+        out << "]}";
+    }
+
+    /** The --perf-json `trace` block (schema: docs/observability.md). */
+    static void
+    writeTraceBlock(std::ostream &out, const core::TraceTotals &trc)
+    {
+        out << "  \"trace\": {\"runs\": " << trc.runs
+            << ", \"dropped\": " << trc.dropped << ",\n    \"events\": {";
+        for (size_t e = 0; e < core::kNumTxEvents; ++e) {
+            out << (e ? ", " : "") << "\""
+                << core::txEventName(static_cast<core::TxEvent>(e))
+                << "\": " << trc.events[e];
+        }
+        out << "},\n    \"aborts_by_reason\": {";
+        for (size_t r = 0; r < core::kNumAbortReasons; ++r) {
+            out << (r ? ", " : "") << "\""
+                << core::abortReasonName(static_cast<core::AbortReason>(r))
+                << "\": " << trc.aborts_by_reason[r];
+        }
+        out << "},\n    \"tx_latency\": ";
+        writeHistogram(out, trc.tx_latency);
+        out << ",\n    \"commit_latency\": ";
+        writeHistogram(out, trc.commit_latency);
+        out << ",\n    \"read_set_size\": ";
+        writeHistogram(out, trc.read_set_size);
+        out << ",\n    \"write_set_size\": ";
+        writeHistogram(out, trc.write_set_size);
+        // Heatmap summary: the K hottest locks by cycles burned
+        // waiting (ties: aborts caused, then index).
+        struct Hot
+        {
+            u32 index;
+            core::LockContention c;
+        };
+        std::vector<Hot> hot;
+        for (u32 i = 0; i < trc.locks.size(); ++i)
+            if (trc.locks[i].any())
+                hot.push_back({i, trc.locks[i]});
+        std::sort(hot.begin(), hot.end(), [](const Hot &a, const Hot &b) {
+            if (a.c.wait_cycles != b.c.wait_cycles)
+                return a.c.wait_cycles > b.c.wait_cycles;
+            if (a.c.aborts_caused != b.c.aborts_caused)
+                return a.c.aborts_caused > b.c.aborts_caused;
+            return a.index < b.index;
+        });
+        constexpr size_t kTopLocks = 16;
+        out << ",\n    \"locks_tracked\": " << hot.size()
+            << ", \"hot_locks\": [";
+        for (size_t i = 0; i < hot.size() && i < kTopLocks; ++i) {
+            out << (i ? ", " : "") << "{\"lock\": " << hot[i].index
+                << ", \"acquires\": " << hot[i].c.acquires
+                << ", \"waits\": " << hot[i].c.waits
+                << ", \"wait_cycles\": " << hot[i].c.wait_cycles
+                << ", \"aborts_caused\": " << hot[i].c.aborts_caused
+                << "}";
+        }
+        out << "]},\n";
+    }
+
     mutable std::mutex mutex_;
     std::string path_;
     std::string bench_;
     std::vector<PerfRecord> records_;
+    bool registered_ = false;
+};
+
+/**
+ * Collector behind --trace-out=FILE: every traced run is appended as
+ * one Perfetto "process" (named after its sweep point) to a single
+ * Chrome/Perfetto JSON array file, written incrementally and closed at
+ * process exit. Load in https://ui.perfetto.dev or chrome://tracing;
+ * format spec in docs/observability.md.
+ */
+class TraceFileWriter
+{
+  public:
+    static TraceFileWriter &
+    instance()
+    {
+        static TraceFileWriter w;
+        return w;
+    }
+
+    void
+    enable(const std::string &path)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (out_.is_open())
+            return;
+        out_.open(path);
+        if (!out_) {
+            std::cerr << "trace-out: cannot write " << path << "\n";
+            return;
+        }
+        out_ << "[\n";
+        if (!registered_) {
+            registered_ = true;
+            std::atexit([] { TraceFileWriter::instance().close(); });
+        }
+    }
+
+    bool
+    enabled() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return out_.is_open();
+    }
+
+    /** Append one run's trace as process @p process_name. Safe from
+     * pool threads; each buffer is written atomically. */
+    void
+    add(const core::TraceBuffer &buf, const std::string &process_name)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!out_.is_open())
+            return;
+        buf.writePerfetto(out_, next_pid_++, process_name, first_);
+    }
+
+    /** Write the closing bracket; called automatically at exit. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!out_.is_open())
+            return;
+        out_ << "\n]\n";
+        out_.close();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::ofstream out_;
+    bool first_ = true;
+    u32 next_pid_ = 1;
     bool registered_ = false;
 };
 
@@ -247,6 +411,12 @@ struct BenchOptions
     /** Serial-irrevocable escalation threshold from --serial-fallback=
      * (0 = off, preserving the paper's algorithms unmodified). */
     unsigned serial_fallback = 0;
+    /** Record traces (--trace, or implied by --trace-out=). */
+    bool trace = false;
+    /** Perfetto trace output file from --trace-out= (empty = none). */
+    std::string trace_out;
+    /** Per-run trace ring capacity from --trace-buf=. */
+    size_t trace_buf = 4096;
 
     /** Hook for harness-specific flags: return true when the argument
      * was recognised and consumed. Checked before the unknown-flag
@@ -301,6 +471,17 @@ struct BenchOptions
                     parseUnsigned(argv[0], a, "--serial-fallback=");
                 if (o.serial_fallback == 0)
                     usageError(argv[0], a, "must be at least 1");
+            } else if (a == "--trace") {
+                o.trace = true;
+            } else if (a.rfind("--trace-out=", 0) == 0) {
+                o.trace_out = a.substr(std::strlen("--trace-out="));
+                if (o.trace_out.empty())
+                    usageError(argv[0], a, "expected a file name");
+                o.trace = true;
+            } else if (a.rfind("--trace-buf=", 0) == 0) {
+                o.trace_buf = parseU64(argv[0], a, "--trace-buf=");
+                if (o.trace_buf == 0)
+                    usageError(argv[0], a, "must be at least 1");
             } else if (extra && extra(a)) {
                 // consumed by the harness-specific hook
             } else
@@ -316,6 +497,8 @@ struct BenchOptions
                 prog = prog.substr(slash + 1);
             PerfReporter::instance().enable(o.perf_json, prog);
         }
+        if (!o.trace_out.empty())
+            TraceFileWriter::instance().enable(o.trace_out);
         return o;
     }
 
@@ -328,6 +511,10 @@ struct BenchOptions
             spec.watchdog_cycles = watchdog_cycles;
         if (serial_fallback != 0)
             spec.serial_fallback_override = serial_fallback;
+        if (trace) {
+            spec.trace = true;
+            spec.trace_buffer_capacity = trace_buf;
+        }
     }
 
   private:
@@ -450,10 +637,15 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
                                       t0)
             .count();
 
+    const std::string point_label =
+        std::string(core::stmKindName(kind)) + "/" +
+        core::metadataTierName(tier) + "/t" + std::to_string(tasklets);
+
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;
     std::map<std::string, std::vector<double>> extras;
-    for (const auto &o : outcomes) {
+    for (size_t s = 0; s < outcomes.size(); ++s) {
+        const auto &o = outcomes[s];
         if (!o.ok) {
             // Infeasible configuration (e.g. WRAM metadata that does
             // not fit): the paper marks these "not runnable".
@@ -471,6 +663,10 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
         pr.sim_cycles_total += static_cast<double>(r.dpu.total_cycles);
         pr.sched_switches_total += r.dpu.sched_switches;
         pr.sched_elisions_total += r.dpu.sched_elisions;
+        if (r.trace && TraceFileWriter::instance().enabled()) {
+            TraceFileWriter::instance().add(
+                *r.trace, point_label + "/seed" + std::to_string(s));
+        }
     }
     pr.throughput_mean = mean(tputs);
     pr.throughput_std = stddev(tputs);
@@ -483,9 +679,7 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
 
     if (PerfReporter::instance().enabled()) {
         PerfRecord rec;
-        rec.label = std::string(core::stmKindName(kind)) + "/" +
-                    core::metadataTierName(tier) + "/t" +
-                    std::to_string(tasklets);
+        rec.label = point_label;
         rec.wall_s = wall_s;
         rec.sim_cycles = pr.sim_cycles_total;
         rec.sched_switches = pr.sched_switches_total;

@@ -16,11 +16,17 @@
  *    (opposite-order atomic acquisition) or livelock (abort storm with
  *    no fallback, watchdog armed) and exit through the watchdog
  *    protocol: diagnostic dump on stderr, exit code 3.
+ *  - --demo-vr-livelock: the paper's §3.2.1 upgrade rule turned
+ *    livelock — two lockstep read->write upgrades under VR ETLWB with
+ *    abort backoff off. Combine with --trace-out=FILE for the worked
+ *    Perfetto example in docs/observability.md.
  */
 
 #include <chrono>
 
 #include "bench/common.hh"
+#include "core/stm_factory.hh"
+#include "runtime/shared_array.hh"
 #include "workloads/arraybench.hh"
 
 using namespace pimstm;
@@ -193,18 +199,66 @@ demoLivelock()
     return 1; // unreachable when the demo works
 }
 
+/**
+ * The VR read->write upgrade livelock (docs/observability.md's worked
+ * Perfetto example): with abort backoff disabled, two tasklets running
+ * the identical upgrade on one cell stay in deterministic lockstep —
+ * both read-lock, both fail the sole-reader upgrade, both abort and
+ * retry, forever. Only the cycle-budget watchdog can diagnose it.
+ */
+int
+demoVrLivelock(const BenchOptions &opt)
+{
+    sim::DpuConfig dpu_cfg;
+    dpu_cfg.mram_bytes = 1 << 20;
+    dpu_cfg.watchdog_cycles = 300'000;
+    sim::Dpu dpu(dpu_cfg, sim::TimingConfig{});
+
+    core::TraceBuffer trace(opt.trace_buf);
+
+    core::StmConfig cfg;
+    cfg.kind = core::StmKind::VrEtlWb;
+    cfg.num_tasklets = 2;
+    cfg.abort_backoff = false; // keep the tasklets in lockstep
+    cfg.data_words_hint = 16;
+    if (opt.trace) {
+        cfg.trace = &trace;
+        dpu.setTraceSink(&trace);
+    }
+    auto stm = core::makeStm(dpu, cfg);
+
+    runtime::SharedArray32 cells(dpu, sim::Tier::Mram, 16);
+    cells.fill(dpu, 0);
+    dpu.addTasklets(2, [&](sim::DpuContext &ctx) {
+        core::atomically(*stm, ctx, [&](core::TxHandle &tx) {
+            const u32 v = tx.read(cells.at(0));
+            tx.write(cells.at(0), v + 1);
+        });
+    });
+    try {
+        dpu.run(); // throws WatchdogError (livelock)
+    } catch (...) {
+        if (opt.trace && TraceFileWriter::instance().enabled())
+            TraceFileWriter::instance().add(trace, "vr-livelock");
+        throw;
+    }
+    return 1; // unreachable when the demo works
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool deadlock = false, livelock = false;
+    bool deadlock = false, livelock = false, vr_livelock = false;
     const auto opt = BenchOptions::parse(
         argc, argv, [&](const std::string &a) {
             if (a == "--demo-deadlock")
                 return deadlock = true;
             if (a == "--demo-livelock")
                 return livelock = true;
+            if (a == "--demo-vr-livelock")
+                return vr_livelock = true;
             return false;
         });
 
@@ -213,6 +267,8 @@ main(int argc, char **argv)
             return demoDeadlock();
         if (livelock)
             return demoLivelock();
+        if (vr_livelock)
+            return demoVrLivelock(opt);
         fastPathOverhead(opt);
         abortStorm(opt);
         return 0;

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links: files must exist, anchors must
+resolve to a heading in the target file.
+
+Usage: check_md_links.py [FILE_OR_DIR ...]   (default: README.md docs/)
+
+Checks every inline link/image `[...](target)` outside fenced code
+blocks. External targets (http/https/mailto) are skipped — CI must not
+depend on the network. Relative targets are resolved against the
+linking file; `#anchors` are matched against the target's headings
+using GitHub's slug rules (lowercase; strip everything but
+alphanumerics, spaces and hyphens; spaces become hyphens; duplicate
+slugs get -1, -2, ... suffixes). Exits 1 and lists every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_fences(text):
+    """Yield (lineno, line) for lines outside fenced code blocks."""
+    in_fence = False
+    for i, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def github_slug(heading):
+    # Inline code/emphasis markers render away before slugging.
+    heading = re.sub(r"[`*_]", "", heading)
+    # Strip markdown links down to their text.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = []
+    for ch in heading.lower():
+        if ch.isalnum() or ch == "-":
+            slug.append(ch)
+        elif ch == " ":
+            slug.append("-")
+        # everything else is dropped
+    return "".join(slug)
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    seen = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    for _, line in strip_fences(text):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2).strip())
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(md_path):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    for lineno, line in strip_fences(text):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path_part))
+                if not os.path.exists(dest):
+                    errors.append((lineno, target, "file not found"))
+                    continue
+            else:
+                dest = md_path
+            if anchor and dest.endswith(".md"):
+                if anchor not in anchors_of(dest):
+                    errors.append(
+                        (lineno, target, f"no heading for #{anchor} "
+                         f"in {os.path.relpath(dest)}"))
+    return errors
+
+
+def collect(args):
+    files = []
+    for a in args:
+        if os.path.isdir(a):
+            for root, _, names in os.walk(a):
+                files += [os.path.join(root, n) for n in sorted(names)
+                          if n.endswith(".md")]
+        else:
+            files.append(a)
+    return files
+
+
+def main():
+    targets = sys.argv[1:] or ["README.md", "docs"]
+    failed = False
+    checked = 0
+    for md in collect(targets):
+        checked += 1
+        for lineno, target, why in check_file(md):
+            print(f"{md}:{lineno}: broken link ({target}): {why}")
+            failed = True
+    if failed:
+        sys.exit(1)
+    print(f"OK: links in {checked} markdown files resolve")
+
+
+if __name__ == "__main__":
+    main()

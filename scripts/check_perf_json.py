@@ -83,6 +83,8 @@ def main():
             print(f"  {line}")
         print("If the simulated cost model changed intentionally, "
               "regenerate the baseline artifact.")
+        print("Artifact schema (all fields, incl. the optional 'trace' "
+              "block): docs/observability.md#perf-json-schema")
         sys.exit(1)
     print(f"OK: {nf} points, simulated fields identical")
 

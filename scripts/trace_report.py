@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Summarize PIM-STM observability artifacts in the terminal.
+
+Usage:
+  trace_report.py PERF.json [--top K]        # --perf-json artifact
+  trace_report.py --trace TRACE.json [--top K]  # --trace-out file
+
+With a --perf-json artifact (schema: docs/observability.md), prints
+from its "trace" block:
+  - the top-K hot locks (the contention heatmap, sorted by cycles
+    burned waiting),
+  - the abort-attribution table (counts per AbortReason, matching the
+    "abort reasons:" line of the C++ printReport output),
+  - the log2 histograms (transaction latency, commit latency, and
+    read/write-set size at commit).
+
+With a --trace-out Perfetto file, prints per-track event counts and
+the abort breakdown reconstructed from the "abort" instant events.
+Ring-buffer drops mean a Perfetto file may undercount; the perf-json
+aggregates never drop (they are counted outside the ring).
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def bar(count, peak, width=40):
+    if peak <= 0:
+        return ""
+    n = round(width * count / peak)
+    return "#" * n
+
+
+def print_histogram(name, h):
+    print(f"{name}: count={h['count']} mean={h['mean']:.1f} "
+          f"min={h['min']} max={h['max']}")
+    buckets = h.get("buckets", [])
+    peak = max((c for _, c in buckets), default=0)
+    for low, count in buckets:
+        print(f"  >= {low:>12}  {count:>10}  {bar(count, peak)}")
+
+
+def report_perf_json(data, top_k):
+    trace = data.get("trace")
+    if trace is None:
+        sys.exit("error: no 'trace' block in this artifact — rerun the "
+                 "bench with --trace (see docs/observability.md)")
+
+    print(f"trace: {trace['runs']} traced runs, "
+          f"{trace['dropped']} ring-dropped records "
+          f"(aggregates below never drop)")
+
+    print(f"\n== top {top_k} hot locks (by wait cycles) ==")
+    hot = trace.get("hot_locks", [])[:top_k]
+    if not hot:
+        print("  (no lock contention recorded)")
+    for h in hot:
+        print(f"  lock {h['lock']:>6}: {h['acquires']:>9} acquires, "
+              f"{h['waits']:>9} waits, {h['wait_cycles']:>12} wait "
+              f"cycles, {h['aborts_caused']:>9} aborts caused")
+
+    print("\n== abort attribution ==")
+    reasons = trace.get("aborts_by_reason", {})
+    total = sum(reasons.values())
+    if total == 0:
+        print("  (no aborts)")
+    for name, count in sorted(reasons.items(), key=lambda kv: -kv[1]):
+        if count == 0:
+            continue
+        print(f"  {name:>18}: {count:>10} ({100.0 * count / total:.1f}%)")
+    # Matches printReport's "abort reasons: name=count ..." line.
+    nonzero = [(n, c) for n, c in reasons.items() if c]
+    print("  abort reasons:"
+          + "".join(f" {n}={c}" for n, c in nonzero))
+
+    print("\n== histograms (log2 buckets) ==")
+    for key, label in (("tx_latency", "tx latency (cycles)"),
+                       ("commit_latency", "commit latency (cycles)"),
+                       ("read_set_size", "read-set size at commit"),
+                       ("write_set_size", "write-set size at commit")):
+        if key in trace:
+            print_histogram(label, trace[key])
+            print()
+
+
+def report_perfetto(events, top_k):
+    if not isinstance(events, list):
+        sys.exit("error: a --trace-out file is a JSON array of events")
+    tracks = Counter()
+    names = Counter()
+    abort_reasons = Counter()
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        tracks[(e.get("pid"), e.get("tid"))] += 1
+        name = e.get("name")  # "E" span-end events legally omit it
+        if name is not None:
+            names[name] += 1
+        if ph == "i" and e.get("name") == "abort":
+            abort_reasons[e.get("args", {}).get("reason", "?")] += 1
+
+    print(f"{sum(tracks.values())} events on {len(tracks)} tracks")
+
+    print(f"\n== top {top_k} event names ==")
+    for name, count in names.most_common(top_k):
+        print(f"  {name:>16}: {count}")
+
+    print("\n== aborts by reason (ring sample — the ring drops oldest "
+          "records; use the perf-json trace block for exact counts) ==")
+    if not abort_reasons:
+        print("  (no abort instants in the ring)")
+    for name, count in abort_reasons.most_common():
+        print(f"  {name:>18}: {count}")
+
+    print(f"\n== busiest {top_k} tracks ==")
+    for (pid, tid), count in tracks.most_common(top_k):
+        print(f"  pid {pid} tid {tid}: {count} events")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("file", help="--perf-json artifact (default) or "
+                    "--trace-out file (with --trace)")
+    ap.add_argument("--trace", action="store_true",
+                    help="treat FILE as a --trace-out Perfetto file")
+    ap.add_argument("--top", type=int, default=10, metavar="K",
+                    help="rows per ranking table (default 10)")
+    args = ap.parse_args()
+
+    data = load(args.file)
+    if args.trace:
+        report_perfetto(data, args.top)
+    else:
+        report_perf_json(data, args.top)
+
+
+if __name__ == "__main__":
+    main()

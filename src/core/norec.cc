@@ -15,7 +15,8 @@ void
 NOrecStm::doStart(DpuContext &ctx, TxDescriptor &tx)
 {
     // Snapshot an even (free) sequence lock. The wait while it is odd
-    // is NOrec's built-in contention manager.
+    // is NOrec's built-in contention manager. The trace layer reports
+    // the global seqlock as lock index 0.
     for (;;) {
         metaRead(ctx, 8);
         const u64 s = seqlock_;
@@ -23,6 +24,8 @@ NOrecStm::doStart(DpuContext &ctx, TxDescriptor &tx)
             tx.snapshot = s;
             return;
         }
+        traceLockWait(ctx, kSeqLockTraceIndex,
+                      cfg_.norec_start_wait ? cfg_.norec_wait_cycles : 0);
         if (cfg_.norec_start_wait)
             ctx.delay(cfg_.norec_wait_cycles);
         else
@@ -39,17 +42,21 @@ NOrecStm::validateAndExtend(DpuContext &ctx, TxDescriptor &tx)
         metaRead(ctx, 8);
         const u64 s = seqlock_;
         if (s & 1) {
+            traceLockWait(ctx, kSeqLockTraceIndex, cfg_.norec_wait_cycles);
             ctx.delay(cfg_.norec_wait_cycles);
             continue;
         }
         // Value-based validation: every previously-read location must
         // still hold the value this transaction observed.
         ++stats_.validations;
+        traceValidate(ctx, tx.read_set.size());
         scanCost(ctx, tx.read_set.size(), readEntryBytes());
         for (const auto &e : tx.read_set) {
             const u32 cur = ctx.read32(e.addr);
-            if (cur != e.value)
-                txAbort(ctx, tx, AbortReason::ValidationFail);
+            if (cur != e.value) {
+                txAbort(ctx, tx, AbortReason::ValidationFail,
+                        kSeqLockTraceIndex, e.addr);
+            }
         }
         // The snapshot is only good if no commit raced the validation.
         metaRead(ctx, 8);
@@ -118,6 +125,8 @@ NOrecStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
 
     // Acquire the sequence lock with the emulated CAS: succeed only if
     // it still equals our snapshot; otherwise revalidate and retry.
+    const Cycles acquire_from = cfg_.trace ? ctx.now() : 0;
+    bool contended = false;
     for (;;) {
         ctx.acquire(kSeqKey);
         metaRead(ctx, 8);
@@ -128,7 +137,14 @@ NOrecStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
             break;
         }
         ctx.release(kSeqKey);
+        contended = true;
         validateAndExtend(ctx, tx);
+    }
+    if (cfg_.trace) {
+        // Wait = the whole CAS-retry span (revalidation included);
+        // 0 when the seqlock was won on the first attempt.
+        traceLockAcquire(ctx, kSeqLockTraceIndex,
+                        contended ? ctx.now() - acquire_from : 0);
     }
 
     // Write back under the (odd) sequence lock.

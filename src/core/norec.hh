@@ -66,6 +66,10 @@ class NOrecStm : public Stm
     /** Atomic-register key guarding sequence-lock CAS emulation. */
     static constexpr u32 kSeqKey = 0x5e91ccccu;
 
+    /** The trace layer's lock index for the global seqlock (NOrec has
+     * no lock table, so contention is attributed to a single cell). */
+    static constexpr u32 kSeqLockTraceIndex = 0;
+
     u64 seqlock_ = 0; // even = free, odd = commit in progress
 };
 

@@ -366,8 +366,10 @@ Stm::txStart(DpuContext &ctx, TxDescriptor &tx)
             ctx.delay(cfg_.serial_wait_cycles);
     }
     ++stats_.starts;
-    if (cfg_.trace)
+    if (cfg_.trace) {
+        tx.trace_start_cycle = ctx.now();
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Start);
+    }
     ++active_txs_;
     tx.reset();
     if (escalate) {
@@ -413,6 +415,7 @@ Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
 {
     maybeInjectFault(ctx, tx, /*can_abort=*/true, /*in_tx=*/true);
     ctx.setPhase(sim::Phase::TxCommit);
+    const Cycles commit_begin = cfg_.trace ? ctx.now() : 0;
     if (tx.irrevocable) {
         // Direct writes are already in memory; committing is just
         // handing the token back.
@@ -422,8 +425,14 @@ Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
         doCommit(ctx, tx);
     }
     ++stats_.commits;
-    if (cfg_.trace)
-        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Commit);
+    if (cfg_.trace) {
+        const Cycles end = ctx.now();
+        cfg_.trace->record(end, ctx.taskletId(), TxEvent::Commit,
+                           static_cast<u32>(tx.write_set.size()));
+        cfg_.trace->noteCommit(end - tx.trace_start_cycle,
+                               end - commit_begin, tx.read_set.size(),
+                               tx.write_set.size());
+    }
     if (tx.read_only)
         ++stats_.read_only_commits;
     tx.retries = 0;
@@ -435,7 +444,8 @@ Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
 }
 
 void
-Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason)
+Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason,
+             u32 conflict_lock, Addr conflict_addr)
 {
     if (tx.irrevocable) {
         // Only TxHandle::retry() can reach here — conflict aborts are
@@ -451,7 +461,8 @@ Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason)
     ++stats_.abort_reasons[static_cast<size_t>(reason)];
     if (cfg_.trace) {
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Abort,
-                           static_cast<u32>(reason));
+                           static_cast<u32>(reason), conflict_addr);
+        cfg_.trace->noteAbort(reason, conflict_lock);
     }
     ++tx.retries;
     --active_txs_;

@@ -261,8 +261,18 @@ class Stm
     u32 txRead(DpuContext &ctx, TxDescriptor &tx, Addr a);
     void txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v);
     void txCommit(DpuContext &ctx, TxDescriptor &tx);
+    /**
+     * Abort the transaction. @p conflict_lock names the lock-table
+     * index the conflict was detected on (kNoLockIndex when there is
+     * no single-lock attribution — NOrec value validation, injected
+     * aborts, user retry()); @p conflict_addr the conflicting data
+     * address when known. Both feed the trace layer's abort
+     * attribution and cost nothing when tracing is off.
+     */
     [[noreturn]] void txAbort(DpuContext &ctx, TxDescriptor &tx,
-                              AbortReason reason);
+                              AbortReason reason,
+                              u32 conflict_lock = kNoLockIndex,
+                              Addr conflict_addr = 0);
     /** @} */
 
     /** Aggregate statistics across all tasklets of this DPU. */
@@ -336,6 +346,42 @@ class Stm
     /** Charge the cost of scanning @p entries set entries of
      * @p entry_bytes each (streamed, not per-entry). */
     void scanCost(DpuContext &ctx, size_t entries, size_t entry_bytes);
+
+    /**
+     * @{ Trace emission helpers for the algorithm implementations.
+     * All are a single null compare when tracing is off; none charge
+     * simulated cost. NOrec reports its global seqlock as index 0.
+     */
+    void
+    traceLockAcquire(DpuContext &ctx, u32 index, Cycles wait_cycles)
+    {
+        if (cfg_.trace) {
+            cfg_.trace->record(ctx.now(), ctx.taskletId(),
+                               TxEvent::LockAcquire, index, wait_cycles);
+            cfg_.trace->noteLockAcquire(index, wait_cycles);
+        }
+    }
+
+    void
+    traceLockWait(DpuContext &ctx, u32 index, Cycles cycles)
+    {
+        if (cfg_.trace) {
+            cfg_.trace->record(ctx.now(), ctx.taskletId(),
+                               TxEvent::LockWait, index, cycles);
+            cfg_.trace->noteLockWait(index, cycles);
+        }
+    }
+
+    void
+    traceValidate(DpuContext &ctx, size_t entries)
+    {
+        if (cfg_.trace) {
+            cfg_.trace->record(ctx.now(), ctx.taskletId(),
+                               TxEvent::Validate,
+                               static_cast<u32>(entries));
+        }
+    }
+    /** @} */
 
     sim::Dpu &dpu_;
     StmConfig cfg_;

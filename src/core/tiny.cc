@@ -71,13 +71,16 @@ void
 TinyStm::validate(DpuContext &ctx, TxDescriptor &tx)
 {
     ++stats_.validations;
+    traceValidate(ctx, tx.read_set.size());
     for (const auto &e : tx.read_set) {
         lockTableRead(ctx, 8);
         const Orec &cur = table_[e.lock_index];
         if (cur.locked && cur.owner != tx.tasklet())
-            txAbort(ctx, tx, AbortReason::ValidationFail);
+            txAbort(ctx, tx, AbortReason::ValidationFail, e.lock_index,
+                    e.addr);
         if (cur.version != e.version)
-            txAbort(ctx, tx, AbortReason::ValidationFail);
+            txAbort(ctx, tx, AbortReason::ValidationFail, e.lock_index,
+                    e.addr);
     }
 }
 
@@ -118,6 +121,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
          o.locked && !(etl_ && o.owner == tx.tasklet()) &&
          poll < cfg_.cm_wait_polls;
          ++poll) {
+        traceLockWait(ctx, index, cfg_.cm_wait_cycles);
         ctx.delay(cfg_.cm_wait_cycles);
         lockTableRead(ctx, 8);
         o = table_[index];
@@ -136,7 +140,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
                 return tx.write_set[static_cast<size_t>(w)].value;
             return ctx.read32(a);
         }
-        txAbort(ctx, tx, AbortReason::ReadConflict);
+        txAbort(ctx, tx, AbortReason::ReadConflict, index, a);
     }
 
     // Invisible read: data read sandwiched between two ORec reads.
@@ -144,7 +148,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
     lockTableRead(ctx, 8);
     const Orec &recheck = table_[index];
     if (recheck.locked || recheck.version != o.version)
-        txAbort(ctx, tx, AbortReason::ReadConflict);
+        txAbort(ctx, tx, AbortReason::ReadConflict, index, a);
 
     // The snapshot upper bound lives in the descriptor, i.e. in the
     // metadata tier — consulting it is a real access there (one of the
@@ -178,6 +182,7 @@ retry:
         if (!mine && poll < cfg_.cm_wait_polls) {
             // Wait-on-contention: back off and retry the acquisition.
             ++poll;
+            traceLockWait(ctx, index, cfg_.cm_wait_cycles);
             ctx.delay(cfg_.cm_wait_cycles);
             goto retry;
         }
@@ -199,6 +204,7 @@ retry:
     lockTableWrite(ctx, 8);
     ctx.release(index);
     tx.locks.push_back({index, true});
+    traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
     return true;
 }
 
@@ -234,7 +240,7 @@ TinyStm::doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
     const u32 index = lockIndexFor(a);
     if (etl_) {
         if (!acquireOrec(ctx, tx, index))
-            txAbort(ctx, tx, AbortReason::WriteConflict);
+            txAbort(ctx, tx, AbortReason::WriteConflict, index, a);
     }
     recordWrite(ctx, tx, a, v, index);
 }
@@ -256,7 +262,8 @@ TinyStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
             if (already)
                 continue;
             if (!acquireOrec(ctx, tx, e.lock_index))
-                txAbort(ctx, tx, AbortReason::CommitConflict);
+                txAbort(ctx, tx, AbortReason::CommitConflict, e.lock_index,
+                        e.addr);
         }
     }
 

@@ -217,6 +217,11 @@ class TxDescriptor
      * abort (StmConfig::serial_fallback_after). */
     bool irrevocable = false;
 
+    /** Simulated cycle this attempt's txStart completed at. Host-only
+     * observability (the tx-latency histogram when tracing is on);
+     * never read by any algorithm. */
+    u64 trace_start_cycle = 0;
+
   private:
     inline static std::atomic<bool> cross_check_{false};
 

@@ -46,7 +46,7 @@ VrStm::doStart(DpuContext &, TxDescriptor &)
 }
 
 void
-VrStm::readLock(DpuContext &ctx, TxDescriptor &tx, u32 index)
+VrStm::readLock(DpuContext &ctx, TxDescriptor &tx, u32 index, Addr a)
 {
     const unsigned me = tx.tasklet();
     unsigned poll = 0;
@@ -64,10 +64,11 @@ retry:
             // Wait-on-contention: poll the writer a bounded number of
             // times before aborting.
             ++poll;
+            traceLockWait(ctx, index, cfg_.cm_wait_cycles);
             ctx.delay(cfg_.cm_wait_cycles);
             goto retry;
         }
-        txAbort(ctx, tx, AbortReason::ReadConflict);
+        txAbort(ctx, tx, AbortReason::ReadConflict, index, a);
     }
     if (rwlock::hasReader(w, me)) {
         ctx.release(index);
@@ -77,11 +78,12 @@ retry:
     lockTableWrite(ctx, 4);
     ctx.release(index);
     tx.locks.push_back({index, false});
+    traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
 }
 
 void
 VrStm::writeLock(DpuContext &ctx, TxDescriptor &tx, u32 index,
-                 bool at_commit)
+                 bool at_commit, Addr a)
 {
     const unsigned me = tx.tasklet();
     unsigned poll = 0;
@@ -97,17 +99,21 @@ retry:
             return;
         if (poll < cfg_.cm_wait_polls) {
             ++poll;
+            traceLockWait(ctx, index, cfg_.cm_wait_cycles);
             ctx.delay(cfg_.cm_wait_cycles);
             goto retry;
         }
-        txAbort(ctx, tx, at_commit ? AbortReason::CommitConflict
-                                   : AbortReason::WriteConflict);
+        txAbort(ctx, tx,
+                at_commit ? AbortReason::CommitConflict
+                          : AbortReason::WriteConflict,
+                index, a);
     }
     if (rwlock::isFree(w)) {
         table_[index] = rwlock::makeWrite(me);
         lockTableWrite(ctx, 4);
         ctx.release(index);
         tx.locks.push_back({index, true});
+        traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
         return;
     }
     // Read mode: upgrade only if we are the sole reader; otherwise
@@ -130,7 +136,8 @@ retry:
     txAbort(ctx, tx,
             i_am_reader ? AbortReason::UpgradeConflict
                         : (at_commit ? AbortReason::CommitConflict
-                                     : AbortReason::WriteConflict));
+                                     : AbortReason::WriteConflict),
+            index, a);
 }
 
 void
@@ -160,7 +167,7 @@ u32
 VrStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
 {
     const u32 index = lockIndexFor(a);
-    readLock(ctx, tx, index);
+    readLock(ctx, tx, index, a);
 
     if (wb_ && !tx.write_set.empty()) {
         // Write-back: our own pending write must win. With ETL we only
@@ -215,7 +222,7 @@ VrStm::doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
 {
     const u32 index = lockIndexFor(a);
     if (etl_)
-        writeLock(ctx, tx, index, false);
+        writeLock(ctx, tx, index, false, a);
     recordWrite(ctx, tx, a, v, index);
 }
 
@@ -226,7 +233,7 @@ VrStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
         // Commit-time locking: upgrade/acquire write locks for the
         // whole write set now.
         for (const auto &e : tx.write_set)
-            writeLock(ctx, tx, e.lock_index, true);
+            writeLock(ctx, tx, e.lock_index, true, e.addr);
     }
     if (wb_ && !tx.write_set.empty()) {
         scanCost(ctx, tx.write_set.size(), writeEntryBytes());

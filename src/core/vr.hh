@@ -61,16 +61,18 @@ class VrStm : public Stm
      * Acquire the rw-lock at @p index in read mode. No-op when this
      * tasklet already covers the slot (reader bit set, or write owner).
      * Aborts on a write lock held by another transaction.
+     * @param a data address covered by the lock (trace attribution only).
      */
-    void readLock(DpuContext &ctx, TxDescriptor &tx, u32 index);
+    void readLock(DpuContext &ctx, TxDescriptor &tx, u32 index, Addr a);
 
     /**
      * Acquire the rw-lock at @p index in write mode, upgrading a sole
      * read lock if needed. Aborts on any incompatible state.
      * @param at_commit selects the abort reason bucket.
+     * @param a data address covered by the lock (trace attribution only).
      */
     void writeLock(DpuContext &ctx, TxDescriptor &tx, u32 index,
-                   bool at_commit);
+                   bool at_commit, Addr a);
 
     /** Release every lock @p tx holds. */
     void releaseAll(DpuContext &ctx, TxDescriptor &tx);

@@ -47,6 +47,17 @@ runWorkload(Workload &workload, const RunSpec &spec)
     if (spec.serial_fallback_override)
         stm_cfg.serial_fallback_after = spec.serial_fallback_override;
 
+    // Observability (host-only; docs/observability.md). The buffer is
+    // shared with the RunResult; the Dpu and StmConfig only borrow it,
+    // and the Dpu's sink is cleared before the instance is pooled.
+    std::shared_ptr<core::TraceBuffer> trace_buf;
+    if (spec.trace) {
+        trace_buf =
+            std::make_shared<core::TraceBuffer>(spec.trace_buffer_capacity);
+        stm_cfg.trace = trace_buf.get();
+        dpu.setTraceSink(trace_buf.get());
+    }
+
     // May throw FatalError when the placement is infeasible — that is
     // the paper's "cannot run with WRAM metadata" case.
     auto stm = core::makeStm(dpu, stm_cfg);
@@ -93,6 +104,12 @@ runWorkload(Workload &workload, const RunSpec &spec)
     ft.escalations = r.stm.escalations;
     ft.serial_commits = r.stm.serial_commits;
     sim::accumulateFaultTotals(ft);
+
+    if (trace_buf) {
+        core::accumulateTraceTotals(*trace_buf);
+        r.trace = trace_buf;
+        dpu.setTraceSink(nullptr);
+    }
 
     // The STM (which references the DPU) must be gone before the DPU
     // can be handed to another sweep point.

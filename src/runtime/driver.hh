@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/stm_factory.hh"
+#include "core/trace.hh"
 #include "sim/dpu.hh"
 
 namespace pimstm::runtime
@@ -92,6 +93,14 @@ struct RunSpec
     /** Serial-irrevocable fallback threshold (0 = keep workload/default,
      * i.e. off — StmConfig::serial_fallback_after). */
     unsigned serial_fallback_override = 0;
+
+    /** Record a transaction/scheduler trace (docs/observability.md).
+     * Host-only: a traced run is bitwise identical to an untraced one. */
+    bool trace = false;
+
+    /** Ring capacity (records) of the per-run trace buffer; aggregates
+     * (heatmap, histograms) are unaffected by drops. */
+    size_t trace_buffer_capacity = 4096;
 };
 
 /** Result of one run. */
@@ -115,6 +124,10 @@ struct RunResult
 
     /** Share of busy cycles per phase, in sim::Phase order. */
     std::array<double, sim::kNumPhases> phase_share{};
+
+    /** The run's trace buffer (null unless RunSpec::trace). Shared so
+     * callers can keep it after the RunResult is copied around. */
+    std::shared_ptr<core::TraceBuffer> trace;
 };
 
 /**

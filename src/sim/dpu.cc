@@ -86,6 +86,10 @@ DpuContext::compute(u64 instrs)
         if (stall != 0) {
             ++dpu_.stats_.injected_stalls;
             dpu_.stats_.injected_stall_cycles += stall;
+            if (dpu_.trace_sink_)
+                dpu_.trace_sink_->schedEvent(dpu_.now_, id_,
+                                             SchedEvent::FaultStall, stall,
+                                             0);
             charge(phase_, stall);
             dpu_.consume(id_, stall, phase_);
         }
@@ -197,6 +201,10 @@ DpuContext::acquire(u32 key)
         if (d != 0) {
             ++dpu_.stats_.injected_acq_delays;
             dpu_.stats_.injected_acq_delay_cycles += d;
+            if (dpu_.trace_sink_)
+                dpu_.trace_sink_->schedEvent(dpu_.now_, id_,
+                                             SchedEvent::FaultAcqDelay, d,
+                                             0);
             charge(phase_, d);
             dpu_.consume(id_, d, phase_);
         }
@@ -297,6 +305,7 @@ Dpu::recycle(const DpuConfig &cfg, const TimingConfig &timing)
     wram_.recycle(cfg.wram_bytes);
     mram_.recycle(cfg.mram_bytes);
     atomic_reg_.recycle(cfg.atomic_bits);
+    trace_sink_ = nullptr; // borrowed; the previous owner is gone
     always_switch_ = resolveAlwaysSwitch(cfg);
     ready_heap_.reserve(cfg.max_tasklets);
     fault_injector_.reset();
@@ -443,6 +452,8 @@ Dpu::blockOnAtomic(unsigned tid, unsigned bit)
     t.blocked_since = now_;
     --runnable_count_;
     ++blocked_atomic_count_;
+    if (trace_sink_)
+        trace_sink_->schedEvent(now_, tid, SchedEvent::Stall, bit, 0);
     suspend(tid);
 }
 
@@ -454,6 +465,9 @@ Dpu::arriveBarrier(unsigned tid)
     ++barrier_count_;
     t.state = TaskletState::BlockedBarrier;
     --runnable_count_;
+    if (trace_sink_)
+        trace_sink_->schedEvent(now_, tid, SchedEvent::BarrierArrive,
+                                my_generation, 0);
     maybeReleaseBarrier();
     while (barrier_generation_ == my_generation &&
            t.state == TaskletState::BlockedBarrier) {
@@ -540,6 +554,10 @@ Dpu::wakeAtomicWaiters(unsigned bit)
             t.state = TaskletState::Ready;
             t.ready_at = now_ + 1;
             stats_.atomic_stall_cycles += now_ - t.blocked_since;
+            if (trace_sink_)
+                trace_sink_->schedEvent(now_, static_cast<unsigned>(i),
+                                        SchedEvent::Wake, bit,
+                                        now_ - t.blocked_since);
             ++runnable_count_;
             --blocked_atomic_count_;
             pushReady(static_cast<unsigned>(i));
@@ -556,6 +574,10 @@ Dpu::maybeReleaseBarrier()
     panicIf(barrier_count_ > alive, "barrier overshoot");
     ++barrier_generation_;
     barrier_count_ = 0;
+    if (trace_sink_)
+        trace_sink_->schedEvent(now_, running_tid_,
+                                SchedEvent::BarrierRelease,
+                                barrier_generation_, 0);
     for (size_t i = 0; i < tasklets_.size(); ++i) {
         auto &t = tasklets_[i];
         if (t.state == TaskletState::BlockedBarrier) {
@@ -640,6 +662,8 @@ Dpu::progressDump(const std::string &verdict) const
         os << "\n";
     for (const auto &d : diagnostics_)
         d.second(os);
+    if (trace_sink_)
+        trace_sink_->dumpTail(os, 32);
     return os.str();
 }
 
@@ -703,6 +727,9 @@ Dpu::scheduleLoop()
         now_ = std::max(now_, e.ready_at);
         running_tid_ = e.tid;
         ++stats_.sched_switches;
+        if (trace_sink_)
+            trace_sink_->schedEvent(now_, e.tid, SchedEvent::Switch,
+                                    e.ready_at, 0);
         const bool alive = t.fiber->enter();
         if (!alive) {
             t.state = TaskletState::Finished;

@@ -41,6 +41,7 @@
 #include "sim/fiber.hh"
 #include "sim/memory.hh"
 #include "sim/phase.hh"
+#include "sim/sched_trace.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -280,6 +281,17 @@ class Dpu
      * common case — callers hook injection behind this null check). */
     FaultInjector *faultInjector() { return fault_injector_.get(); }
 
+    /**
+     * @{ Scheduler trace sink. Host-only observability: emission sites
+     * are behind a null check and never charge simulated cycles, so a
+     * traced run is bitwise identical to an untraced one. The sink is
+     * borrowed, not owned — callers must clear it (or keep the sink
+     * alive) for the Dpu's remaining lifetime; recycle() clears it.
+     */
+    void setTraceSink(SchedTraceSink *sink) { trace_sink_ = sink; }
+    SchedTraceSink *traceSink() const { return trace_sink_; }
+    /** @} */
+
     /** A tasklet body that terminated abnormally during run(). */
     struct TaskletFault
     {
@@ -437,6 +449,7 @@ class Dpu
     // the livelock deadline is UINT64_MAX when the watchdog is off, so
     // the hot-path check in consume() is a single always-false compare.
     std::unique_ptr<FaultInjector> fault_injector_;
+    SchedTraceSink *trace_sink_ = nullptr;
     Cycles watchdog_cycles_ = 0;
     Cycles watchdog_deadline_ = ~Cycles{0};
     std::vector<TaskletFault> tasklet_faults_;
