@@ -52,6 +52,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -150,6 +151,17 @@ class PerfReporter
         records_.push_back(std::move(r));
     }
 
+    /** Attach a named top-level JSON block (@p json must be one JSON
+     * value, e.g. the `distributed` object from twoPcStatsJson).
+     * Written once, between the trace block and the totals; unknown
+     * blocks are ignored by scripts/check_perf_json.py's gate. */
+    void
+    setExtraBlock(const std::string &name, std::string json)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        extra_blocks_[name] = std::move(json);
+    }
+
     /** Write the JSON artifact; called automatically at exit. */
     void
     write()
@@ -201,6 +213,8 @@ class PerfReporter
             << ", \"serial_commits\": " << flt.serial_commits << "}},\n";
         if (trc.runs > 0)
             writeTraceBlock(out, trc);
+        for (const auto &[name, json] : extra_blocks_)
+            out << "  \"" << escape(name) << "\": " << json << ",\n";
         out << "  \"totals\": {"
             << "\"wall_s\": " << wall
             << ", \"sim_cycles\": " << cycles
@@ -319,6 +333,7 @@ class PerfReporter
     std::string path_;
     std::string bench_;
     std::vector<PerfRecord> records_;
+    std::map<std::string, std::string> extra_blocks_;
     bool registered_ = false;
 };
 

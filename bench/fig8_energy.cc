@@ -26,7 +26,15 @@ using namespace pimstm::hostapp;
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    bool measured_cpu = false;
+    const BenchOptions opt = BenchOptions::parse(
+        argc, argv, [&](const std::string &a) {
+            if (a == "--measured-cpu") {
+                measured_cpu = true;
+                return true;
+            }
+            return false;
+        });
     constexpr unsigned kDpus = 2500;
     const sim::EnergyConfig energy_cfg;
 
@@ -56,8 +64,10 @@ main(int argc, char **argv)
         cp.clusters = mp.clusters;
         cp.total_points = opt.full ? 480000 : 96000;
         cp.threads = 4;
-        const auto cpu = cpu::runKMeansCpu(cp);
-        const double cpu_s = cpu.seconds / cp.total_points *
+        const double cpu_seconds =
+            measured_cpu ? cpu::runKMeansCpu(cp).seconds
+                         : cpu::modelKMeansCpuSeconds(cp);
+        const double cpu_s = cpu_seconds / cp.total_points *
                              static_cast<double>(mp.points_per_dpu) *
                              kDpus;
         add_row(hc ? "KMeans HC" : "KMeans LC", t.total(), cpu_s);
@@ -85,8 +95,10 @@ main(int argc, char **argv)
         cp.z = g.z;
         cp.num_paths = mp.num_paths;
         cp.threads = 8;
-        const auto cpu = cpu::runLabyrinthCpu(cp);
-        const double cpu_s = cpu.seconds * divCeil(kDpus, 4);
+        const double cpu_seconds =
+            measured_cpu ? cpu::runLabyrinthCpu(cp).seconds
+                         : cpu::modelLabyrinthCpuSeconds(cp);
+        const double cpu_s = cpu_seconds * divCeil(kDpus, 4);
         add_row(g.name, t.total(), cpu_s);
     }
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "sim/config.hh"
 #include "util/types.hh"
 
 namespace pimstm::cpu
@@ -35,6 +36,18 @@ struct KMeansCpuResult
 
 /** Run the CPU KMeans baseline and return timing + stats. */
 KMeansCpuResult runKMeansCpu(const KMeansCpuParams &params);
+
+/**
+ * Deterministic closed-form model of runKMeansCpu's wall-clock: per
+ * point and round the CPU computes clusters x dims squared distances
+ * (3 FLOPs each) and commits one transaction updating dims+1 shared
+ * accumulator words (a read and a write each), divided across threads
+ * at the configured efficiency. Used by the figure harnesses so their
+ * cpu_s / speedup columns are bitwise stable (--measured-cpu restores
+ * the timed baseline).
+ */
+double modelKMeansCpuSeconds(const KMeansCpuParams &params,
+                             const sim::HostCpuConfig &cpu = {});
 
 } // namespace pimstm::cpu
 

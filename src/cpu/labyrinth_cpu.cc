@@ -52,16 +52,25 @@ struct Instance
     }
 };
 
-/** Lee expansion + backtrack on a private snapshot. */
+/** Lee expansion + backtrack on a private snapshot. When @p words is
+ * non-null, the memory words touched (grid/dist reads and writes,
+ * frontier traffic) are counted into it — the deterministic operation
+ * count behind modelLabyrinthCpuSeconds. */
 std::vector<u32>
-route(const Instance &inst, std::vector<u32> &local, u32 src, u32 dst)
+route(const Instance &inst, std::vector<u32> &local, u32 src, u32 dst,
+      u64 *words = nullptr)
 {
-    if (local[src] != kFree || local[dst] != kFree)
+    u64 w = 2;
+    if (local[src] != kFree || local[dst] != kFree) {
+        if (words)
+            *words += w;
         return {};
+    }
     std::vector<u32> &dist = local;
     for (u32 i = 0; i < inst.p.cells(); ++i)
         dist[i] = (local[i] == kFree) ? kUnvisited : kBlocked;
     dist[src] = 0;
+    w += 2 * static_cast<u64>(inst.p.cells()) + 1;
 
     std::deque<u32> frontier{src};
     bool found = false;
@@ -70,10 +79,12 @@ route(const Instance &inst, std::vector<u32> &local, u32 src, u32 dst)
         const u32 cell = frontier.front();
         frontier.pop_front();
         const unsigned n = inst.neighbors(cell, nb);
+        w += 1 + n;
         for (unsigned k = 0; k < n; ++k) {
             if (dist[nb[k]] != kUnvisited)
                 continue;
             dist[nb[k]] = dist[cell] + 1;
+            w += 2;
             if (nb[k] == dst) {
                 found = true;
                 break;
@@ -81,8 +92,11 @@ route(const Instance &inst, std::vector<u32> &local, u32 src, u32 dst)
             frontier.push_back(nb[k]);
         }
     }
-    if (!found)
+    if (!found) {
+        if (words)
+            *words += w;
         return {};
+    }
 
     std::vector<u32> path{dst};
     u32 cur = dst;
@@ -96,21 +110,20 @@ route(const Instance &inst, std::vector<u32> &local, u32 src, u32 dst)
             }
         }
         panicIf(next == kBlocked, "CPU Lee backtrack lost the trail");
+        w += n + 2;
         path.push_back(next);
         cur = next;
     }
+    if (words)
+        *words += w;
     return path;
 }
 
-} // namespace
-
-LabyrinthCpuResult
-runLabyrinthCpu(const LabyrinthCpuParams &params)
+/** The deterministic endpoint list both the timed baseline and the
+ * cost model route (same generator as the DPU port). */
+std::vector<std::pair<u32, u32>>
+generateJobs(const Instance &inst, const LabyrinthCpuParams &params)
 {
-    Instance inst{params};
-    std::vector<u32> grid(params.cells(), kFree);
-
-    // Same endpoint generation as the DPU port.
     Rng rng(deriveSeed(params.seed, 0x1abu));
     std::vector<u8> used(params.cells(), 0);
     std::vector<std::pair<u32, u32>> jobs;
@@ -142,6 +155,54 @@ runLabyrinthCpu(const LabyrinthCpuParams &params)
         used[dst] = 1;
         jobs.emplace_back(src, dst);
     }
+    return jobs;
+}
+
+} // namespace
+
+double
+modelLabyrinthCpuSeconds(const LabyrinthCpuParams &params,
+                         const sim::HostCpuConfig &cpu)
+{
+    fatalIf(params.threads == 0,
+            "Labyrinth CPU needs at least one thread");
+    Instance inst{params};
+    const auto jobs = generateJobs(inst, params);
+
+    // Replay the routing serially in job order, counting the memory
+    // words each attempt walks. The serial schedule is one of the
+    // schedules the racy parallel run can produce, and the per-attempt
+    // work is dominated by the grid snapshot and Lee expansion, which
+    // conflicts only perturb at the margin.
+    std::vector<u32> grid(params.cells(), kFree);
+    std::vector<u32> local(params.cells());
+    u64 words = 0, stm_ops = 0, txs = 0;
+    for (u32 j = 0; j < jobs.size(); ++j) {
+        words += 2 * static_cast<u64>(params.cells()); // snapshot copy
+        for (u32 i = 0; i < params.cells(); ++i)
+            local[i] = grid[i];
+        const auto path =
+            route(inst, local, jobs[j].first, jobs[j].second, &words);
+        ++txs;
+        stm_ops += 2 * path.size(); // transactional claim: read+write
+        for (const u32 cell : path)
+            grid[cell] = j + 1;
+    }
+
+    const double seq =
+        static_cast<double>(words) / cpu.mem_words_per_s +
+        (static_cast<double>(stm_ops) * cpu.stm_op_ns +
+         static_cast<double>(txs) * cpu.stm_tx_ns) *
+            1e-9;
+    return seq / (params.threads * cpu.parallel_efficiency);
+}
+
+LabyrinthCpuResult
+runLabyrinthCpu(const LabyrinthCpuParams &params)
+{
+    Instance inst{params};
+    std::vector<u32> grid(params.cells(), kFree);
+    const auto jobs = generateJobs(inst, params);
 
     CpuNOrec stm;
     std::vector<CpuTx> txs(params.threads);

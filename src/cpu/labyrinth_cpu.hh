@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "sim/config.hh"
 #include "util/types.hh"
 
 namespace pimstm::cpu
@@ -37,6 +38,17 @@ struct LabyrinthCpuResult
 
 /** Solve one instance on the CPU and return timing + stats. */
 LabyrinthCpuResult runLabyrinthCpu(const LabyrinthCpuParams &params);
+
+/**
+ * Deterministic model of runLabyrinthCpu's wall-clock: replay the
+ * routing serially (same endpoint list), counting the memory words
+ * each attempt touches (grid snapshot, Lee expansion, backtrack) and
+ * the transactional claim operations, then charge them against the
+ * calibrated host rates. Bitwise stable across runs and machines;
+ * --measured-cpu in the figure harnesses restores the timed baseline.
+ */
+double modelLabyrinthCpuSeconds(const LabyrinthCpuParams &params,
+                                const sim::HostCpuConfig &cpu = {});
 
 } // namespace pimstm::cpu
 

@@ -9,28 +9,37 @@
  *    MRAM. Within a shard, PIM-STM transparently regulates concurrency
  *    among the tasklets executing that shard's operations.
  *  - DPUs cannot talk to each other, so the host routes operations:
- *    execute() groups a batch by shard, runs each involved DPU once
- *    (its tasklets drain the shard's operation list transactionally)
- *    and charges the host-link cost model for the op/result transfers
- *    and the launch overhead.
- *  - Cross-shard operations (movek: atomically relocate a key) are
- *    CPU-coordinated and sequential — §3.1: updating data on multiple
- *    DPUs "can still be achieved, albeit sequentially, by coordinating
- *    the data manipulation via the CPU". The host serializes them
- *    against whole-batch execution, which is exactly the consistency
- *    the paper's design affords (no distributed transactions).
+ *    execute() groups a batch by shard, runs every involved DPU
+ *    concurrently (host threads via util::ThreadPool; the modelled
+ *    batch takes as long as the slowest shard) and charges the
+ *    PimSystem host-link cost model for every fragment/vote/decision
+ *    transfer and launch.
+ *  - Cross-shard transactions (movek: atomically relocate a key) run
+ *    under host-coordinated two-phase commit over per-shard fragments:
+ *    each involved DPU executes its fragment as a shard-local STM
+ *    transaction that acquires a *pin* (an entry in a per-shard
+ *    transactional pin table) on its key, the host collects votes and
+ *    delivers commit/abort decisions, and pins are held across the
+ *    prepare -> decision window so no conflicting shard-local operation
+ *    can slip between the phases. Single-shard ops and cross-shard
+ *    transactions flow through the same launches; ops that touch a
+ *    pinned key are deferred to the next round (the pin read is what
+ *    orders them after the in-flight transaction). Full protocol,
+ *    cost accounting and failure matrix: docs/distributed.md.
  */
 
 #ifndef PIMSTM_HOSTAPP_DISTRIBUTED_KV_HH
 #define PIMSTM_HOSTAPP_DISTRIBUTED_KV_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/stm_factory.hh"
 #include "runtime/tx_hashmap.hh"
 #include "sim/config.hh"
 #include "sim/dpu.hh"
+#include "sim/pim_system.hh"
 
 namespace pimstm::hostapp
 {
@@ -74,6 +83,111 @@ struct KvResult
     u32 value = 0;   ///< Get only
 };
 
+/**
+ * A cross-shard transaction: atomically relocate @p src_key to
+ * @p dst_key. Its read/write set is partitioned into one fragment per
+ * involved shard (source: predicate "present", erase on commit;
+ * destination: predicate "absent", insert on commit), each executed as
+ * a shard-local STM transaction inside its DPU.
+ */
+struct CrossShardTx
+{
+    u32 src_key = 0;
+    u32 dst_key = 0;
+
+    static CrossShardTx
+    move(u32 src_key, u32 dst_key)
+    {
+        return {src_key, dst_key};
+    }
+};
+
+/** Outcome of one cross-shard transaction. */
+struct CrossShardTxResult
+{
+    bool committed = false;
+    u32 value = 0;          ///< relocated value, when committed
+    unsigned attempts = 0;  ///< prepare attempts (1 = first try)
+    bool serialized = false; ///< resolved under the serial token
+};
+
+/** Results of one mixed batch, positionally aligned with the inputs. */
+struct KvBatchResult
+{
+    std::vector<KvResult> ops;
+    std::vector<CrossShardTxResult> txs;
+};
+
+/**
+ * Coordinator / participant statistics, per DistributedKv instance and
+ * accumulated process-wide (twoPcTotals) for the --perf-json
+ * `distributed` block. Host-side observability only.
+ */
+struct TwoPcStats
+{
+    u64 batches = 0;        ///< execute() batches processed
+    u64 prepare_rounds = 0; ///< op+prepare launches issued
+    u64 commit_rounds = 0;  ///< decision launches (incl. re-deliveries)
+    u64 tx_commits = 0;
+    u64 tx_predicate_fails = 0;  ///< absent source / occupied dest
+    u64 tx_conflict_retries = 0; ///< pin conflicts sent back to retry
+    u64 serial_fallbacks = 0;    ///< txs resolved under the serial token
+    u64 deferred_ops = 0;        ///< ops postponed by a pinned key
+    u64 participant_redeliveries = 0; ///< fragments re-sent after a crash
+    u64 crashes_in_prepare = 0; ///< injected crashes during prepare rounds
+    u64 crashes_in_commit = 0;  ///< injected crashes during decision rounds
+    u64 bytes_down = 0;         ///< host -> DPU fragment/decision bytes
+    u64 bytes_up = 0;           ///< DPU -> host result/vote/ack bytes
+    double shard_busy_seconds = 0;     ///< summed per-shard simulated time
+    double shard_capacity_seconds = 0; ///< num_shards x batch makespans
+
+    /** Mean fraction of batch time the average shard spent busy. */
+    double
+    meanShardOccupancy() const
+    {
+        return shard_capacity_seconds > 0
+                   ? shard_busy_seconds / shard_capacity_seconds
+                   : 0.0;
+    }
+};
+
+/** Snapshot of the process-wide 2PC totals. */
+TwoPcStats twoPcTotals();
+
+/** Fold one instance's counters into the process-wide totals. */
+void accumulateTwoPcTotals(const TwoPcStats &delta);
+
+/** The `distributed` --perf-json block for @p s (one JSON object). */
+std::string twoPcStatsJson(const TwoPcStats &s);
+
+/** Shard a key belongs to in an @p shards-way store (host-pure;
+ * independent of the in-shard slot hash so shards stay balanced). */
+unsigned shardOfKey(u32 key, unsigned shards);
+
+/** How the coordinator routes one CrossShardTx. */
+enum class TxRoute : u8
+{
+    /** src and dst shards differ: genuine two-phase commit. */
+    Cross,
+    /** Both keys hash to one shard: degrade to a single shard-local
+     * transaction (erase+insert atomically) — never a degenerate 2PC. */
+    Local,
+    /** src_key == dst_key: rejected up front (committed = false). */
+    Degenerate,
+};
+
+/** Routing decision for one CrossShardTx (host-pure, unit-testable
+ * without DPUs). */
+struct TxPlan
+{
+    TxRoute route = TxRoute::Cross;
+    unsigned src_shard = 0;
+    unsigned dst_shard = 0;
+};
+
+/** Classify @p tx for an @p shards-way store. Keys must be valid. */
+TxPlan planCrossShardTx(const CrossShardTx &tx, unsigned shards);
+
 struct DistributedKvConfig
 {
     unsigned shards = 4;
@@ -85,6 +199,27 @@ struct DistributedKvConfig
     u64 seed = 1;
     sim::TimingConfig timing{};
     sim::HostLinkConfig link{};
+
+    /** Fault-injection plan applied to every shard DPU (operation
+     * counts accumulate across all launches of the instance, so a
+     * `crash=` point fires once per shard DPU lifetime, wherever the
+     * count lands — seeding, a prepare round, or a decision round). */
+    sim::FaultPlan faults;
+
+    /** Coordinator backstop: after this many pin-conflict retries a
+     * cross-shard transaction takes the serial token — remaining
+     * transactions resolve one at a time, which breaks any
+     * deterministic conflict cycle. Must be >= 1. */
+    unsigned serial_token_after = 4;
+
+    /** In-DPU backstop (PR 4 machinery): escalate a shard-local
+     * transaction to serial-irrevocable mode after this many
+     * consecutive aborts. 0 disables. */
+    unsigned stm_serial_fallback_after = 64;
+
+    /** Pin-table capacity per shard; bounds in-flight fragments (a
+     * prepare that cannot pin votes Conflict and retries). */
+    u32 max_inflight_per_shard = 64;
 };
 
 /** A KV store sharded over several simulated DPUs. */
@@ -101,20 +236,35 @@ class DistributedKv
     unsigned shardOf(u32 key) const;
 
     /**
-     * Execute a batch of operations. Operations on different shards
-     * run on their DPUs in parallel (modelled); operations on the same
-     * shard run concurrently across that DPU's tasklets, isolated by
-     * the STM. Results are positionally aligned with @p ops.
+     * Execute a mixed batch: single-shard operations and cross-shard
+     * transactions flow through the same launches. Operations on
+     * different shards run on their DPUs in parallel (modelled, and on
+     * host threads); operations on the same shard run concurrently
+     * across that DPU's tasklets, isolated by the STM; cross-shard
+     * transactions commit via two-phase commit over per-shard
+     * fragments. Results are positionally aligned with the inputs.
      */
+    KvBatchResult execute(const std::vector<KvOp> &ops,
+                          const std::vector<CrossShardTx> &txs);
+
+    /** Operations-only batch. */
     std::vector<KvResult> execute(const std::vector<KvOp> &ops);
 
     /**
      * Atomically relocate @p key to @p new_key (which may live on a
-     * different shard), CPU-coordinated: erase on the source shard,
-     * insert on the destination. Returns false (and changes nothing)
-     * when @p key is absent or @p new_key already exists.
+     * different shard) via one cross-shard transaction. Returns false
+     * (and changes nothing) when @p key is absent or @p new_key
+     * already exists.
      */
     bool moveKey(u32 key, u32 new_key);
+
+    /**
+     * The §3.1 serialized escape hatch the 2PC path replaces, kept as
+     * the measured baseline (bench/micro_2pc.cc): probe both keys with
+     * one whole-batch execute, then erase+put with another, each a
+     * full pipeline drain. Semantics match moveKey.
+     */
+    bool moveKeySerialized(u32 key, u32 new_key);
 
     /** Total simulated+modelled time spent so far (seconds). */
     double elapsedSeconds() const { return elapsed_seconds_; }
@@ -123,35 +273,131 @@ class DistributedKv
     u64 totalCommits() const;
     u64 totalAborts() const;
 
+    /** Summed simulated cycles / scheduler counters across shards and
+     * launches (for --perf-json records). */
+    u64 simCycles() const;
+    u64 schedSwitches() const;
+    u64 schedElisions() const;
+
+    /** 2PC statistics for this instance. */
+    const TwoPcStats &stats() const { return stats_; }
+
+    /** Simulated busy seconds of shard @p s across all launches. */
+    double shardBusySeconds(unsigned s) const;
+
     /** Host-side exact population (verification). */
     u32 population() const;
 
     /** Host-side lookup without timing (verification). */
     bool peek(u32 key, u32 &value_out) const;
 
+    /** Outstanding pins across all shards (0 when quiescent). */
+    u32 livePins() const;
+
     unsigned numShards() const
     {
         return static_cast<unsigned>(shards_.size());
     }
 
+    //
+    // Coordinator-failure test hooks (fault-injection only).
+    //
+
+    /** Where an injected coordinator crash fires inside execute(). */
+    enum class CrashPoint : u8
+    {
+        None,
+        /** After votes return, before the decision is logged: a
+         * recovering coordinator finds no decision record and must
+         * presume abort. */
+        AfterPrepare,
+        /** After the decision is logged and delivered to at most
+         * @p max_decision_shards shards: recovery must re-deliver the
+         * logged decision to the rest, idempotently. */
+        MidDecision,
+    };
+
+    /** Thrown by execute() when the armed crash point fires. */
+    struct CoordinatorCrashed
+    {
+    };
+
+    /** Arm a one-shot coordinator crash for the next execute(). */
+    void injectCoordinatorCrash(CrashPoint point,
+                                unsigned max_decision_shards = 0);
+
+    /** True after a coordinator crash until recover() completes;
+     * execute() refuses to run in this state. */
+    bool needsRecovery() const { return recovery_needed_; }
+
+    /**
+     * Coordinator recovery: walk the in-flight transaction log,
+     * re-deliver logged commit decisions until every fragment has
+     * applied (idempotent), and abort every undecided transaction
+     * (presumed abort — release its pins). Afterwards every shard's
+     * map reflects some serial order of the committed transactions
+     * and all pins are released.
+     */
+    void recover();
+
   private:
     struct Shard
     {
-        std::unique_ptr<sim::Dpu> dpu;
+        sim::Dpu *dpu = nullptr; ///< owned by system_
         std::unique_ptr<core::Stm> stm;
         runtime::TxHashMap map;
+        runtime::TxHashMap pins; ///< key -> in-flight tx token
+        unsigned live_pins = 0;  ///< host view of committed pins
+        bool pins_dirty = false; ///< pin table has tombstones to recycle
         u64 commits = 0;
         u64 aborts = 0;
+        u64 cum_cycles = 0;
+        u64 cum_switches = 0;
+        u64 cum_elisions = 0;
+        double busy_seconds = 0;
     };
 
-    /** Run @p shard's DPU over its pending slice of @p ops. */
-    double runShard(Shard &shard, const std::vector<KvOp> &ops,
-                    const std::vector<size_t> &indices,
-                    std::vector<KvResult> &results);
+    struct WorkItem;
+    struct Outcome;
+    struct InFlight;
+
+    /** Execute one work item as a shard-local transaction. */
+    void runItem(Shard &shard, sim::DpuContext &ctx, const WorkItem &it,
+                 Outcome &out, bool check_pins);
+
+    /** Run one launch over the shards with work; returns the slowest
+     * shard's simulated seconds and fills per-item outcomes. */
+    double runLaunch(std::vector<std::vector<WorkItem>> &work,
+                     std::vector<std::vector<Outcome>> &outcomes,
+                     bool decision_launch);
+
+    /** Charge one round's launch + transfer costs and makespan. */
+    void chargeRound(const std::vector<std::vector<WorkItem>> &work,
+                     double worst_shard_seconds);
+
+    /** Deliver decisions for @p wal entries, re-delivering fragments
+     * that a participant crash left unapplied. Fires the MidDecision
+     * crash hook when armed. */
+    void deliverDecisions(std::vector<InFlight *> &wal);
+
+    /** Recycle quiescent dirty pin tables (tombstone cleanup). */
+    void recyclePins();
+
+    void foldTotalsDelta();
 
     DistributedKvConfig cfg_;
-    std::vector<Shard> shards_;
+    std::unique_ptr<sim::PimSystem> system_;
+    std::vector<Shard> shards_; ///< destroyed before system_ (STMs
+                                ///< unregister from their DPUs)
     double elapsed_seconds_ = 0;
+    u32 next_token_ = 1;
+    TwoPcStats stats_;
+    TwoPcStats folded_; ///< portion already folded into the globals
+
+    std::vector<InFlight> wal_; ///< in-flight tx log (coordinator WAL)
+    bool recovery_needed_ = false;
+    CrashPoint crash_point_ = CrashPoint::None;
+    unsigned crash_decision_shards_ = 0;
 };
 
 } // namespace pimstm::hostapp

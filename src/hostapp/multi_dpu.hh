@@ -11,7 +11,7 @@
  *
  *   time(D) = max(sampled per-DPU time)
  *           + per-round host transfers (cost model, scales with D)
- *           + measured host-side merge time (KMeans only).
+ *           + modelled host-side merge time (KMeans only).
  */
 
 #ifndef PIMSTM_HOSTAPP_MULTI_DPU_HH
@@ -56,7 +56,7 @@ struct MultiDpuTime
     unsigned dpus = 0;
     double compute_seconds = 0;  ///< slowest sampled DPU, simulated
     double transfer_seconds = 0; ///< host<->MRAM copies, cost model
-    double merge_seconds = 0;    ///< measured host-side merge (KMeans)
+    double merge_seconds = 0;    ///< modelled host-side merge (KMeans)
     double launch_seconds = 0;   ///< batch launch/sync overhead
 
     double

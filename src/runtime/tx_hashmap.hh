@@ -122,6 +122,22 @@ class TxHashMap
         return false;
     }
 
+    /**
+     * Host-side reset to the empty state (all slots kEmpty). Only
+     * legal while the DPU is idle — the UPMEM constraint the whole
+     * host-coordination layer relies on. Used by coordinators to
+     * recycle a quiescent table (e.g. the distributed KV's pin tables
+     * between batches) so tombstones from expired entries cannot grow
+     * probe chains without bound; callers charge the copy through
+     * their cost model.
+     */
+    void
+    clear(sim::Dpu &dpu)
+    {
+        keys_.fill(dpu, kEmpty);
+        values_.fill(dpu, 0);
+    }
+
     /** Untimed host-side population count (verification). */
     u32
     population(sim::Dpu &dpu) const

@@ -175,6 +175,45 @@ struct HostLinkConfig
     double copy_base_us = 10.0;
 };
 
+/**
+ * First-order cost model of the host CPU baselines (§4.3).
+ *
+ * The multi-DPU figures compare against CPU implementations whose
+ * runtime is, by construction, linear in simple operation counts
+ * (points x rounds for KMeans, memory words walked for Labyrinth).
+ * Charging those counts against calibrated rates — instead of timing
+ * real threads with the wall clock — makes every column of the figures
+ * bitwise reproducible across runs, machines and --jobs settings. The
+ * rates below were fitted once against measured runs of the real
+ * baselines on the reference machine (runKMeansCpu: 0.429 us per
+ * point-round at k=15/d=14 with 4 threads, 0.212 us at k=2;
+ * runLabyrinthCpu: 0.7/1.2/20 ms for the S/M/L quick instances), and
+ * the measured paths remain available behind --measured-cpu.
+ */
+struct HostCpuConfig
+{
+    /** Sustained scalar float throughput per host thread (FLOP/s). */
+    double flops_per_s = 0.9e9;
+
+    /** Effective touched-words rate per host thread for the pointer-
+     * heavy Labyrinth routing (snapshot, Lee expansion, backtrack). */
+    double mem_words_per_s = 70.0e6;
+
+    /** Host NOrec cost per transactional read-or-write (ns). */
+    double stm_op_ns = 15.0;
+
+    /** Host NOrec per-transaction begin+commit overhead (ns). */
+    double stm_tx_ns = 50.0;
+
+    /** Host-side centroid merge throughput (adds/s, single thread —
+     * the merge runs on thread 0 between rounds). */
+    double merge_adds_per_s = 2.0e9;
+
+    /** Multi-thread scaling efficiency of the CPU baselines (the
+     * fraction of linear speedup real threads achieve). */
+    double parallel_efficiency = 0.7;
+};
+
 /** Energy model used by the Fig. 8 reproduction. */
 struct EnergyConfig
 {

@@ -369,7 +369,7 @@ Dpu::addTasklets(unsigned n, const TaskletBody &body)
 }
 
 void
-Dpu::resetRun()
+Dpu::resetRun(bool reset_faults)
 {
     fatalIf(in_run_, "resetRun during run");
     tasklets_.clear();
@@ -382,7 +382,7 @@ Dpu::resetRun()
     finished_count_ = 0;
     blocked_atomic_count_ = 0;
     ready_heap_.clear();
-    if (fault_injector_)
+    if (fault_injector_ && reset_faults)
         fault_injector_->reset();
     watchdog_deadline_ = ~Cycles{0};
     tasklet_faults_.clear();

@@ -233,8 +233,16 @@ class Dpu
      */
     void run();
 
-    /** Clear tasklets and run-statistics; memory contents persist. */
-    void resetRun();
+    /**
+     * Clear tasklets and run-statistics; memory contents persist.
+     * By default the fault injector restarts its per-tasklet operation
+     * counts too (each run sees the plan from scratch). Multi-launch
+     * hosts — e.g. the distributed KV's 2PC rounds — pass
+     * @p reset_faults = false so op counts accumulate across launches
+     * and a `crash=TID@OPS` event stays one-shot for the DPU's whole
+     * lifetime instead of re-firing every round.
+     */
+    void resetRun(bool reset_faults = true);
 
     /**
      * Return this DPU to the state of a freshly constructed

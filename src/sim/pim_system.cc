@@ -60,12 +60,10 @@ PimSystem::runAllSeconds()
 }
 
 double
-PimSystem::transferSeconds(size_t bytes_per_dpu) const
+PimSystem::transferSeconds(double total_bytes) const
 {
     // Host<->MRAM copies are batched across ranks; total bytes move at
     // the aggregate link bandwidth, plus a fixed setup term.
-    const double total_bytes =
-        static_cast<double>(bytes_per_dpu) * logical_dpus_;
     const double bw = link_.host_copy_bandwidth_gbps * 1e9;
     return link_.copy_base_us * 1e-6 + total_bytes / bw;
 }
@@ -73,13 +71,15 @@ PimSystem::transferSeconds(size_t bytes_per_dpu) const
 double
 PimSystem::hostToDpusSeconds(size_t bytes_per_dpu) const
 {
-    return transferSeconds(bytes_per_dpu);
+    return transferSeconds(static_cast<double>(bytes_per_dpu) *
+                           logical_dpus_);
 }
 
 double
 PimSystem::dpusToHostSeconds(size_t bytes_per_dpu) const
 {
-    return transferSeconds(bytes_per_dpu);
+    return transferSeconds(static_cast<double>(bytes_per_dpu) *
+                           logical_dpus_);
 }
 
 double

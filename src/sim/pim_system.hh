@@ -69,9 +69,17 @@ class PimSystem
     /** Fixed DPU-batch launch/sync overhead. */
     double launchOverheadSeconds() const;
 
-  private:
-    double transferSeconds(size_t bytes_per_dpu) const;
+    /**
+     * Time for the host to move @p total_bytes over the host<->MRAM
+     * link in one batched copy (fixed setup term + bytes at the
+     * aggregate bandwidth). hostToDpusSeconds / dpusToHostSeconds are
+     * the per-DPU-uniform special case; coordinators with ragged
+     * per-shard payloads (e.g. 2PC fragment/vote/decision rounds)
+     * charge their exact byte totals here.
+     */
+    double transferSeconds(double total_bytes) const;
 
+  private:
     unsigned logical_dpus_;
     TimingConfig timing_;
     HostLinkConfig link_;
