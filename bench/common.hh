@@ -213,6 +213,15 @@ class PerfReporter
             << ", \"serial_commits\": " << flt.serial_commits << "}},\n";
         if (trc.runs > 0)
             writeTraceBlock(out, trc);
+        const auto bst = core::boostedTotals();
+        if (bst.acquires != 0 || bst.waits != 0 ||
+            bst.semantic_undos != 0) {
+            out << "  \"boosted\": {\"acquires\": " << bst.acquires
+                << ", \"waits\": " << bst.waits
+                << ", \"semantic_undos\": " << bst.semantic_undos
+                << ", \"false_conflicts_avoided\": "
+                << bst.false_conflicts_avoided << "},\n";
+        }
         for (const auto &[name, json] : extra_blocks_)
             out << "  \"" << escape(name) << "\": " << json << ",\n";
         out << "  \"totals\": {"
@@ -288,6 +297,12 @@ class PerfReporter
             out << (r ? ", " : "") << "\""
                 << core::abortReasonName(static_cast<core::AbortReason>(r))
                 << "\": " << trc.aborts_by_reason[r];
+        }
+        out << "},\n    \"aborts_by_structure\": {";
+        for (size_t s = 0; s < core::kNumStructures; ++s) {
+            out << (s ? ", " : "") << "\""
+                << core::structureName(static_cast<core::StructureId>(s))
+                << "\": " << trc.aborts_by_structure[s];
         }
         out << "},\n    \"tx_latency\": ";
         writeHistogram(out, trc.tx_latency);
@@ -426,6 +441,9 @@ struct BenchOptions
     /** Serial-irrevocable escalation threshold from --serial-fallback=
      * (0 = off, preserving the paper's algorithms unmodified). */
     unsigned serial_fallback = 0;
+    /** Route structure operations through the boosted library
+     * (--boosting=on|off; RunSpec::boosting, docs/boosting.md). */
+    bool boosting = false;
     /** Record traces (--trace, or implied by --trace-out=). */
     bool trace = false;
     /** Perfetto trace output file from --trace-out= (empty = none). */
@@ -486,6 +504,15 @@ struct BenchOptions
                     parseUnsigned(argv[0], a, "--serial-fallback=");
                 if (o.serial_fallback == 0)
                     usageError(argv[0], a, "must be at least 1");
+            } else if (a.rfind("--boosting=", 0) == 0) {
+                const std::string v =
+                    a.substr(std::strlen("--boosting="));
+                if (v == "on")
+                    o.boosting = true;
+                else if (v == "off")
+                    o.boosting = false;
+                else
+                    usageError(argv[0], a, "expected on or off");
             } else if (a == "--trace") {
                 o.trace = true;
             } else if (a.rfind("--trace-out=", 0) == 0) {
@@ -522,6 +549,8 @@ struct BenchOptions
     applyTo(runtime::RunSpec &spec) const
     {
         spec.faults = faults;
+        if (boosting)
+            spec.boosting = true;
         if (watchdog_cycles != 0)
             spec.watchdog_cycles = watchdog_cycles;
         if (serial_fallback != 0)
@@ -654,7 +683,8 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
 
     const std::string point_label =
         std::string(core::stmKindName(kind)) + "/" +
-        core::metadataTierName(tier) + "/t" + std::to_string(tasklets);
+        core::metadataTierName(tier) + "/t" + std::to_string(tasklets) +
+        (base.boosting ? "/boosted" : "");
 
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;

@@ -13,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/stm_factory.hh"
+#include "runtime/boosted.hh"
 #include "runtime/shared_array.hh"
+#include "runtime/tx_hashmap.hh"
 #include "sim/pim_system.hh"
 
 using namespace pimstm;
@@ -115,6 +117,58 @@ BM_StmReadWriteCost(benchmark::State &state)
     state.counters["sim_ns_per_tx"] = ns_per_op;
 }
 BENCHMARK(BM_StmReadWriteCost)->DenseRange(0, 6);
+
+/**
+ * Cost of one uncontended map operation (insert+lookup+erase) through
+ * the two structure-selection modes: word-based TxHashMap transactions
+ * (arg 0) vs the boosted library's abstract locks + direct accesses
+ * (arg 1) — the same switch RunSpec::boosting / --boosting=on flips in
+ * the sweep harnesses. Boosting trades read/write-set maintenance for
+ * two stripe-word touches and a latch, so the uncontended delta is the
+ * price paid for contention immunity.
+ */
+void
+BM_MapOpCost(benchmark::State &state)
+{
+    const bool boosted = state.range(0) != 0;
+    TimingConfig timing;
+    double ns_per_op = 0;
+    for (auto _ : state) {
+        Dpu dpu(smallDpu(), timing);
+        core::StmConfig cfg;
+        cfg.num_tasklets = 1;
+        cfg.max_read_set = 64;
+        cfg.max_write_set = 64;
+        cfg.boosting = boosted;
+        auto stm = core::makeStm(dpu, cfg);
+        runtime::TxHashMap map(dpu, Tier::Mram, 64);
+        std::unique_ptr<runtime::BoostedMap> bmap;
+        if (boosted)
+            bmap = std::make_unique<runtime::BoostedMap>(dpu, *stm, map);
+        dpu.addTasklet([&](DpuContext &ctx) {
+            for (u32 i = 0; i < 16; ++i) {
+                core::atomically(*stm, ctx, [&](core::TxHandle &tx) {
+                    u32 v = 0;
+                    if (boosted) {
+                        bmap->insert(tx, i, i * 3);
+                        bmap->lookup(tx, i, v);
+                        bmap->erase(tx, i);
+                    } else {
+                        map.insert(tx, i, i * 3);
+                        map.lookup(tx, i, v);
+                        map.erase(tx, i);
+                    }
+                });
+            }
+        });
+        dpu.run();
+        ns_per_op =
+            timing.cyclesToSeconds(dpu.stats().total_cycles) * 1e9 / 16;
+    }
+    state.SetLabel(boosted ? "boosted" : "word");
+    state.counters["sim_ns_per_tx"] = ns_per_op;
+}
+BENCHMARK(BM_MapOpCost)->DenseRange(0, 1);
 
 } // namespace
 

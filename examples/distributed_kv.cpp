@@ -21,6 +21,7 @@
  *   --tasklets=N         tasklets per DPU           (default 11)
  *   --seed=N             workload seed              (default 2026)
  *   --faults=SPEC        fault plan (docs/robustness.md grammar)
+ *   --boosting=on|off    boosted shard maps (docs/boosting.md)
  */
 
 #include <charconv>
@@ -64,6 +65,7 @@ main(int argc, char **argv)
     u32 ops_per_batch = 2000, batches = 2, movek_permille = 100;
     u32 capacity = 2048;
     u64 seed = 2026;
+    bool boosting = false;
     sim::FaultPlan faults;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -85,6 +87,10 @@ main(int argc, char **argv)
         else if (a.rfind("--faults=", 0) == 0)
             faults = sim::FaultPlan::parse(
                 a.substr(std::strlen("--faults=")));
+        else if (a == "--boosting=on")
+            boosting = true;
+        else if (a == "--boosting=off")
+            boosting = false;
         else {
             std::cerr << "unknown option '" << a << "'\n";
             return 2;
@@ -103,6 +109,7 @@ main(int argc, char **argv)
     cfg.mram_bytes = 4 * 1024 * 1024;
     cfg.seed = seed;
     cfg.faults = faults;
+    cfg.boosting = boosting;
     auto kv = std::make_unique<DistributedKv>(cfg);
 
     // Host-side reference model, updated from each batch's reported

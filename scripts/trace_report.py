@@ -11,6 +11,10 @@ from its "trace" block:
     burned waiting),
   - the abort-attribution table (counts per AbortReason, matching the
     "abort reasons:" line of the C++ printReport output),
+  - the per-structure abort heatmap (counts per StructureId — which
+    boosted/word structure the aborted transaction was operating on),
+  - the boosted-library counters (abstract-lock acquires/waits,
+    semantic undos, false conflicts avoided) when boosting ran,
   - the log2 histograms (transaction latency, commit latency, and
     read/write-set size at commit).
 
@@ -82,6 +86,27 @@ def report_perf_json(data, top_k):
     nonzero = [(n, c) for n, c in reasons.items() if c]
     print("  abort reasons:"
           + "".join(f" {n}={c}" for n, c in nonzero))
+
+    print("\n== aborts by structure ==")
+    structs = trace.get("aborts_by_structure", {})
+    s_total = sum(structs.values())
+    if s_total == 0:
+        print("  (no structure-attributed aborts)")
+    peak = max(structs.values(), default=0)
+    for name, count in sorted(structs.items(), key=lambda kv: -kv[1]):
+        if count == 0:
+            continue
+        print(f"  {name:>18}: {count:>10} "
+              f"({100.0 * count / s_total:.1f}%)  {bar(count, peak)}")
+
+    boosted = data.get("boosted")
+    if boosted:
+        print("\n== boosted structure library ==")
+        print(f"  abstract-lock acquires: {boosted['acquires']}")
+        print(f"  waits:                  {boosted['waits']}")
+        print(f"  semantic undos:         {boosted['semantic_undos']}")
+        print(f"  false conflicts avoided: "
+              f"{boosted['false_conflicts_avoided']}")
 
     print("\n== histograms (log2 buckets) ==")
     for key, label in (("tx_latency", "tx latency (cycles)"),

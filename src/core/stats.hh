@@ -25,6 +25,7 @@ enum class AbortReason : u8
     ValidationFail,    ///< readset validation / extension failed
     CommitConflict,    ///< commit-time lock acquisition failed (CTL)
     UserAbort,         ///< explicit TxHandle::retry()
+    BoostTimeout,      ///< abstract-lock wait exhausted (boosting)
     NumReasons,
 };
 
@@ -41,6 +42,7 @@ abortReasonName(AbortReason r)
       case AbortReason::ValidationFail: return "validation-fail";
       case AbortReason::CommitConflict: return "commit-conflict";
       case AbortReason::UserAbort: return "user-abort";
+      case AbortReason::BoostTimeout: return "boost-timeout";
       default: return "?";
     }
 }
@@ -78,6 +80,22 @@ struct StmStats
     /** @} */
 
     /**
+     * @{ Transactional-boosting counters (zero unless
+     * StmConfig::boosting is on; docs/boosting.md).
+     */
+    /** Abstract locks acquired (shared + exclusive + upgrades). */
+    u64 boosted_acquires = 0;
+    /** Poll rounds spent waiting on a held abstract lock. */
+    u64 boosted_waits = 0;
+    /** Semantic inverse operations replayed on abort. */
+    u64 semantic_undos = 0;
+    /** Abstract-lock waits that ended in acquisition — each one is a
+     * physical conflict a word-based STM would have aborted on but the
+     * abstract level could wait out. */
+    u64 false_conflicts_avoided = 0;
+    /** @} */
+
+    /**
      * Abort rate as the paper plots it: aborted executions over all
      * transaction executions (commits + aborts).
      */
@@ -107,6 +125,10 @@ struct StmStats
         serial_commits += o.serial_commits;
         injected_aborts += o.injected_aborts;
         crashes += o.crashes;
+        boosted_acquires += o.boosted_acquires;
+        boosted_waits += o.boosted_waits;
+        semantic_undos += o.semantic_undos;
+        false_conflicts_avoided += o.false_conflicts_avoided;
         return *this;
     }
 };

@@ -19,6 +19,12 @@ std::atomic<u64> g_idx_probes{0};
 std::atomic<u64> g_idx_inserts{0};
 std::atomic<u64> g_idx_max_probe{0};
 
+// Process-wide boosting counters; folded in by Stm::~Stm.
+std::atomic<u64> g_boost_acquires{0};
+std::atomic<u64> g_boost_waits{0};
+std::atomic<u64> g_boost_undos{0};
+std::atomic<u64> g_boost_avoided{0};
+
 void
 accumulateIndexStats(const util::EpochIndexStats &s)
 {
@@ -42,6 +48,18 @@ txIndexTotals()
     t.probes = g_idx_probes.load(std::memory_order_relaxed);
     t.inserts = g_idx_inserts.load(std::memory_order_relaxed);
     t.max_probe = g_idx_max_probe.load(std::memory_order_relaxed);
+    return t;
+}
+
+BoostedTotals
+boostedTotals()
+{
+    BoostedTotals t;
+    t.acquires = g_boost_acquires.load(std::memory_order_relaxed);
+    t.waits = g_boost_waits.load(std::memory_order_relaxed);
+    t.semantic_undos = g_boost_undos.load(std::memory_order_relaxed);
+    t.false_conflicts_avoided =
+        g_boost_avoided.load(std::memory_order_relaxed);
     return t;
 }
 
@@ -141,6 +159,14 @@ Stm::~Stm()
     dpu_.removeDiagnostic(this);
     for (const auto &tx : descriptors_)
         accumulateIndexStats(tx.indexStats());
+    g_boost_acquires.fetch_add(stats_.boosted_acquires,
+                               std::memory_order_relaxed);
+    g_boost_waits.fetch_add(stats_.boosted_waits,
+                            std::memory_order_relaxed);
+    g_boost_undos.fetch_add(stats_.semantic_undos,
+                            std::memory_order_relaxed);
+    g_boost_avoided.fetch_add(stats_.false_conflicts_avoided,
+                              std::memory_order_relaxed);
 }
 
 TxDescriptor &
@@ -299,13 +325,51 @@ Stm::maybeInjectFault(DpuContext &ctx, TxDescriptor &tx, bool can_abort,
 }
 
 void
+Stm::replaySemanticUndo(DpuContext &ctx, TxDescriptor &tx)
+{
+    if (tx.semantic_undo.empty())
+        return;
+    // Log-scan cost: the undo log is contiguous descriptor metadata
+    // the simulated machine must stream before replaying (each entry
+    // is an op code plus captured operands, ~16 bytes).
+    scanCost(ctx, tx.semantic_undo.size(), 16);
+    while (!tx.semantic_undo.empty()) {
+        SemanticUndo entry = std::move(tx.semantic_undo.back());
+        tx.semantic_undo.pop_back();
+        if (cfg_.trace) {
+            cfg_.trace->record(
+                ctx.now(), ctx.taskletId(), TxEvent::SemanticUndo,
+                static_cast<u32>(tx.semantic_undo.size()), 0,
+                static_cast<StructureId>(entry.structure));
+        }
+        entry.apply(ctx);
+        ++stats_.semantic_undos;
+    }
+}
+
+void
+Stm::releaseSemanticLocks(DpuContext &ctx, TxDescriptor &tx)
+{
+    while (!tx.semantic_locks.empty()) {
+        const SemanticLock l = tx.semantic_locks.back();
+        tx.semantic_locks.pop_back();
+        l.owner->releaseAbstract(ctx, tx.tasklet(), l.stripe,
+                                 l.exclusive);
+    }
+}
+
+void
 Stm::crashOut(DpuContext &ctx, TxDescriptor &tx, bool in_tx)
 {
     ++stats_.crashes;
     if (in_tx) {
         // Clean termination mid-transaction: release every lock / ORec
-        // the transaction holds, exactly as an abort would.
+        // the transaction holds, exactly as an abort would — including
+        // replaying the semantic undo log so eagerly applied boosted
+        // operations do not leak into the committed state.
         doAbortCleanup(ctx, tx);
+        replaySemanticUndo(ctx, tx);
+        releaseSemanticLocks(ctx, tx);
         --active_txs_;
         ctx.txAccountingAbort();
     }
@@ -388,8 +452,10 @@ Stm::txRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
     ctx.setPhase(sim::Phase::TxRead);
     const u32 v = tx.irrevocable ? ctx.read32(a) : doRead(ctx, tx, a);
     ++stats_.reads;
-    if (cfg_.trace)
-        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Read, a);
+    if (cfg_.trace) {
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Read, a,
+                           0, static_cast<StructureId>(tx.structure));
+    }
     ctx.setPhase(sim::Phase::TxOther);
     return v;
 }
@@ -405,8 +471,10 @@ Stm::txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
         doWrite(ctx, tx, a, v);
     tx.read_only = false;
     ++stats_.writes;
-    if (cfg_.trace)
-        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Write, a);
+    if (cfg_.trace) {
+        cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Write, a,
+                           0, static_cast<StructureId>(tx.structure));
+    }
     ctx.setPhase(sim::Phase::TxOther);
 }
 
@@ -424,6 +492,12 @@ Stm::txCommit(DpuContext &ctx, TxDescriptor &tx)
     } else {
         doCommit(ctx, tx);
     }
+    // Boosted state: the eager writes are now the committed truth;
+    // discard the inverse log and hand the abstract locks back.
+    if (!tx.semantic_undo.empty())
+        tx.semantic_undo.clear();
+    if (!tx.semantic_locks.empty())
+        releaseSemanticLocks(ctx, tx);
     ++stats_.commits;
     if (cfg_.trace) {
         const Cycles end = ctx.now();
@@ -457,12 +531,18 @@ Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason,
               "atomic blocks");
     }
     doAbortCleanup(ctx, tx);
+    // Word-level rollback done; now undo the eagerly applied boosted
+    // operations (LIFO, abstract locks still held) and release.
+    replaySemanticUndo(ctx, tx);
+    releaseSemanticLocks(ctx, tx);
     ++stats_.aborts;
     ++stats_.abort_reasons[static_cast<size_t>(reason)];
     if (cfg_.trace) {
         cfg_.trace->record(ctx.now(), ctx.taskletId(), TxEvent::Abort,
-                           static_cast<u32>(reason), conflict_addr);
-        cfg_.trace->noteAbort(reason, conflict_lock);
+                           static_cast<u32>(reason), conflict_addr,
+                           static_cast<StructureId>(tx.structure));
+        cfg_.trace->noteAbort(reason, conflict_lock,
+                              static_cast<StructureId>(tx.structure));
     }
     ++tx.retries;
     --active_txs_;

@@ -171,6 +171,22 @@ struct StmConfig
      */
     unsigned cm_wait_polls = 0;
     Cycles cm_wait_cycles = 64;
+
+    /**
+     * Transactional boosting (docs/boosting.md): boosted data
+     * structures apply operations eagerly under striped abstract locks
+     * and log semantic inverse operations instead of routing every
+     * word through doRead/doWrite. Off by default; when off, no
+     * boosted code path runs and every charge sequence is bitwise
+     * identical to a build without the subsystem (CI-gated).
+     */
+    bool boosting = false;
+
+    /** Polls of a held abstract lock (cm_wait_cycles apart) before the
+     * boosted operation gives up and aborts the transaction — the
+     * boosting analogue of cm_wait_polls, always on because waiting is
+     * the point of abstract locks. */
+    unsigned boost_wait_polls = 64;
 };
 
 /** Thrown (internally) to unwind an aborted transaction to its retry
@@ -195,6 +211,22 @@ struct TxIndexTotals
 
 /** Snapshot of the accumulated totals (thread-safe). */
 TxIndexTotals txIndexTotals();
+
+/**
+ * Process-wide totals of the transactional-boosting counters
+ * (host-side observability, the `boosted` block of --perf-json).
+ * Folded in by Stm::~Stm from StmStats, like the index totals.
+ */
+struct BoostedTotals
+{
+    u64 acquires = 0;
+    u64 waits = 0;
+    u64 semantic_undos = 0;
+    u64 false_conflicts_avoided = 0;
+};
+
+/** Snapshot of the accumulated totals (thread-safe). */
+BoostedTotals boostedTotals();
 
 class Stm;
 
@@ -225,10 +257,43 @@ class TxHandle
 
     DpuContext &ctx() { return ctx_; }
 
+    /** @{ Plumbing for the boosted data-structure layer
+     * (runtime::AbstractLockManager and friends): boosted operations
+     * need the STM (stats, abort entry point, config) and the
+     * descriptor (semantic locks + undo log) behind the handle. */
+    Stm &stm() { return stm_; }
+    TxDescriptor &descriptor() { return tx_; }
+    /** @} */
+
   private:
     Stm &stm_;
     DpuContext &ctx_;
     TxDescriptor &tx_;
+};
+
+/**
+ * RAII tag: marks the enclosing transaction as operating inside one
+ * data structure for the dynamic extent of the scope. Host-only (one
+ * byte store each way, no simulated cost); feeds trace events and the
+ * per-structure abort heatmap of scripts/trace_report.py.
+ */
+class StructureScope
+{
+  public:
+    StructureScope(TxDescriptor &tx, StructureId id)
+        : tx_(tx), saved_(tx.structure)
+    {
+        tx_.structure = static_cast<u8>(id);
+    }
+
+    ~StructureScope() { tx_.structure = saved_; }
+
+    StructureScope(const StructureScope &) = delete;
+    StructureScope &operator=(const StructureScope &) = delete;
+
+  private:
+    TxDescriptor &tx_;
+    u8 saved_;
 };
 
 /**
@@ -409,6 +474,17 @@ class Stm
      * and delivers an injected crash or spurious abort (both throw). */
     void maybeInjectFault(DpuContext &ctx, TxDescriptor &tx,
                           bool can_abort, bool in_tx);
+
+    /**
+     * @{ Transactional-boosting unwind hooks (no-ops when the
+     * transaction holds no semantic state). On abort the undo log is
+     * replayed LIFO *after* word-level rollback (doAbortCleanup) and
+     * *before* the abstract locks are handed back, so every inverse
+     * operation still runs under the exclusivity it was logged under.
+     */
+    void replaySemanticUndo(DpuContext &ctx, TxDescriptor &tx);
+    void releaseSemanticLocks(DpuContext &ctx, TxDescriptor &tx);
+    /** @} */
 
     /** Terminate the calling tasklet with an injected crash, releasing
      * all transaction-held metadata first. */

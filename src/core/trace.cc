@@ -34,6 +34,13 @@ TraceBuffer::printRecord(std::ostream &os, const TraceRecord &r)
       case TxEvent::LockWait:
         os << " lock=" << r.arg << " wait=" << r.arg2;
         break;
+      case TxEvent::BoostAcquire:
+      case TxEvent::BoostWait:
+        os << " stripe=" << r.arg << " wait=" << r.arg2;
+        break;
+      case TxEvent::SemanticUndo:
+        os << " depth=" << r.arg;
+        break;
       case TxEvent::Validate:
         os << " entries=" << r.arg;
         break;
@@ -49,6 +56,10 @@ TraceBuffer::printRecord(std::ostream &os, const TraceRecord &r)
         break;
       default:
         break;
+    }
+    if (r.structure != 0) {
+        os << " struct="
+           << structureName(static_cast<StructureId>(r.structure));
     }
     os << "\n";
 }
@@ -160,7 +171,9 @@ TraceBuffer::writePerfetto(std::ostream &os, u32 pid,
                 os << ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"stm\","
                    << "\"name\":\"abort\",\"args\":{\"reason\":\""
                    << abortReasonName(static_cast<AbortReason>(r.arg))
-                   << "\",\"addr\":" << r.arg2 << "}}";
+                   << "\",\"addr\":" << r.arg2 << ",\"structure\":\""
+                   << structureName(static_cast<StructureId>(r.structure))
+                   << "\"}}";
             }
             if (tx_open[tid]) {
                 tx_open[tid] = false;
@@ -195,7 +208,10 @@ TraceBuffer::writePerfetto(std::ostream &os, u32 pid,
                        ? "data"
                        : (r.event == TxEvent::LockAcquire ||
                           r.event == TxEvent::LockWait ||
-                          r.event == TxEvent::Validate
+                          r.event == TxEvent::Validate ||
+                          r.event == TxEvent::BoostAcquire ||
+                          r.event == TxEvent::BoostWait ||
+                          r.event == TxEvent::SemanticUndo
                               ? "stm"
                               : "sched"))
                << "\",\"name\":\"" << txEventName(r.event)
@@ -247,6 +263,8 @@ accumulateTraceTotals(const TraceBuffer &trace)
     t.dropped += trace.dropped();
     for (size_t r = 0; r < kNumAbortReasons; ++r)
         t.aborts_by_reason[r] += trace.abortsByReason()[r];
+    for (size_t s = 0; s < kNumStructures; ++s)
+        t.aborts_by_structure[s] += trace.abortsByStructure()[s];
     t.tx_latency.merge(trace.txLatency());
     t.commit_latency.merge(trace.commitLatency());
     t.read_set_size.merge(trace.readSetSize());

@@ -33,6 +33,46 @@
 namespace pimstm::core
 {
 
+/**
+ * Well-known data-structure identities for per-structure abort
+ * attribution (a fixed enum, not a runtime registry, so ids are
+ * deterministic across runs and host threads). 0 = "no structure":
+ * plain word accesses outside any tagged container.
+ */
+enum class StructureId : u8
+{
+    None = 0,
+    Map,                ///< TxHashMap / BoostedMap
+    Set,                ///< BoostedSet
+    Queue,              ///< BoostedQueue
+    SkipList,           ///< workloads/skiplist
+    VacationTables,     ///< vacation free/price tables
+    VacationCustomers,  ///< vacation customer slot table
+    KvMap,              ///< distributed_kv per-shard store
+    KvPins,             ///< distributed_kv per-shard pin table
+    NumStructures,
+};
+
+constexpr size_t kNumStructures =
+    static_cast<size_t>(StructureId::NumStructures);
+
+constexpr std::string_view
+structureName(StructureId s)
+{
+    switch (s) {
+      case StructureId::None: return "none";
+      case StructureId::Map: return "map";
+      case StructureId::Set: return "set";
+      case StructureId::Queue: return "queue";
+      case StructureId::SkipList: return "skiplist";
+      case StructureId::VacationTables: return "vacation-tables";
+      case StructureId::VacationCustomers: return "vacation-customers";
+      case StructureId::KvMap: return "kv-map";
+      case StructureId::KvPins: return "kv-pins";
+      default: return "?";
+    }
+}
+
 enum class TxEvent : u8
 {
     Start = 0,
@@ -58,6 +98,15 @@ enum class TxEvent : u8
     FaultStall,
     FaultAcqDelay,
     /** @} */
+    /** Abstract lock acquired by a boosted operation (arg = stripe,
+     * arg2 = cycles spent waiting for it). */
+    BoostAcquire,
+    /** A held abstract lock was polled without acquiring it
+     * (arg = stripe, arg2 = cycles this wait charged). */
+    BoostWait,
+    /** One semantic inverse operation replayed on abort
+     * (arg = remaining undo-log depth). */
+    SemanticUndo,
     NumEvents,
 };
 
@@ -82,6 +131,9 @@ txEventName(TxEvent e)
       case TxEvent::BarrierRelease: return "barrier_release";
       case TxEvent::FaultStall: return "fault_stall";
       case TxEvent::FaultAcqDelay: return "fault_acq_delay";
+      case TxEvent::BoostAcquire: return "boost_acquire";
+      case TxEvent::BoostWait: return "boost_wait";
+      case TxEvent::SemanticUndo: return "semantic_undo";
       default: return "?";
     }
 }
@@ -102,6 +154,9 @@ struct TraceRecord
     /** Second operand: conflicting address for Abort, wait cycles for
      * LockAcquire/LockWait, event-specific for scheduler events. */
     u64 arg2 = 0;
+    /** Data structure the event happened inside (StructureId; 0 when
+     * the event is not attributable to one tagged structure). */
+    u8 structure = 0;
 };
 
 /**
@@ -203,7 +258,7 @@ class TraceBuffer : public sim::SchedTraceSink
 
     void
     record(Cycles time, unsigned tasklet, TxEvent event, u32 arg = 0,
-           u64 arg2 = 0)
+           u64 arg2 = 0, StructureId structure = StructureId::None)
     {
         TraceRecord r;
         r.time = time;
@@ -211,6 +266,7 @@ class TraceBuffer : public sim::SchedTraceSink
         r.event = event;
         r.arg = arg;
         r.arg2 = arg2;
+        r.structure = static_cast<u8>(structure);
         ++counts_[static_cast<size_t>(event)];
         if (records_.size() < capacity_) {
             records_.push_back(r);
@@ -242,11 +298,15 @@ class TraceBuffer : public sim::SchedTraceSink
     }
 
     /** An abort happened; @p lock is the conflicting lock index or
-     * kNoLockIndex when the conflict has no single-lock attribution. */
+     * kNoLockIndex when the conflict has no single-lock attribution;
+     * @p structure the tagged structure the aborting operation was
+     * inside (None when untagged). */
     void
-    noteAbort(AbortReason reason, u32 lock)
+    noteAbort(AbortReason reason, u32 lock,
+              StructureId structure = StructureId::None)
     {
         ++aborts_by_reason_[static_cast<size_t>(reason)];
+        ++aborts_by_structure_[static_cast<size_t>(structure)];
         if (lock != kNoLockIndex)
             ++touchLock(lock).aborts_caused;
     }
@@ -320,6 +380,12 @@ class TraceBuffer : public sim::SchedTraceSink
         return aborts_by_reason_;
     }
 
+    const std::array<u64, kNumStructures> &
+    abortsByStructure() const
+    {
+        return aborts_by_structure_;
+    }
+
     const LogHistogram &txLatency() const { return tx_latency_; }
     const LogHistogram &commitLatency() const { return commit_latency_; }
     const LogHistogram &readSetSize() const { return read_set_size_; }
@@ -335,6 +401,7 @@ class TraceBuffer : public sim::SchedTraceSink
         counts_.fill(0);
         lock_contention_.clear();
         aborts_by_reason_.fill(0);
+        aborts_by_structure_.fill(0);
         tx_latency_ = LogHistogram{};
         commit_latency_ = LogHistogram{};
         read_set_size_ = LogHistogram{};
@@ -383,6 +450,7 @@ class TraceBuffer : public sim::SchedTraceSink
 
     std::vector<LockContention> lock_contention_;
     std::array<u64, kNumAbortReasons> aborts_by_reason_{};
+    std::array<u64, kNumStructures> aborts_by_structure_{};
     LogHistogram tx_latency_;
     LogHistogram commit_latency_;
     LogHistogram read_set_size_;
@@ -401,6 +469,7 @@ struct TraceTotals
     std::array<u64, kNumTxEvents> events{};
     u64 dropped = 0;
     std::array<u64, kNumAbortReasons> aborts_by_reason{};
+    std::array<u64, kNumStructures> aborts_by_structure{};
     LogHistogram tx_latency;
     LogHistogram commit_latency;
     LogHistogram read_set_size;

@@ -27,6 +27,7 @@
 #define PIMSTM_CORE_TX_DESCRIPTOR_HH
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "sim/addr.hh"
@@ -34,8 +35,51 @@
 #include "util/logging.hh"
 #include "util/types.hh"
 
+namespace pimstm::sim
+{
+class DpuContext;
+}
+
 namespace pimstm::core
 {
+
+/**
+ * Owner-side release hook for abstract (semantic) locks held by a
+ * boosted transaction. Implemented by runtime::AbstractLockManager;
+ * declared here so the Stm commit/abort wrappers can hand locks back
+ * without the core depending on the runtime layer (docs/boosting.md).
+ */
+class SemanticLockOwner
+{
+  public:
+    virtual ~SemanticLockOwner() = default;
+
+    /** Release the @p stripe lock held by @p tasklet in the given
+     * mode, charging the release at the owner's metadata tier. */
+    virtual void releaseAbstract(sim::DpuContext &ctx, unsigned tasklet,
+                                 u32 stripe, bool exclusive) = 0;
+};
+
+/** One abstract lock held by the transaction (2PL: released only at
+ * commit/abort, in reverse acquisition order). */
+struct SemanticLock
+{
+    SemanticLockOwner *owner = nullptr;
+    u32 stripe = 0;
+    bool exclusive = false;
+};
+
+/** One semantic undo-log entry: the inverse of an eagerly applied
+ * boosted operation (erase-for-insert, reinsert-for-erase, ...),
+ * replayed LIFO on abort after word-level rollback. The closure
+ * charges its own simulated accesses; the log-scan cost is charged by
+ * Stm::txAbort. */
+struct SemanticUndo
+{
+    std::function<void(sim::DpuContext &)> apply;
+    /** StructureId of the structure the operation mutated. */
+    u8 structure = 0;
+};
 
 /** One read-set entry. */
 struct ReadEntry
@@ -200,6 +244,23 @@ class TxDescriptor
     std::vector<ReadEntry> read_set;
     std::vector<WriteEntry> write_set;
     std::vector<HeldLock> locks;
+
+    /**
+     * @{ Transactional-boosting state (empty unless StmConfig::boosting
+     * is on). Both are owned by the Stm commit/abort wrappers — commit
+     * discards the undo log and releases the locks, abort replays the
+     * log LIFO (locks still held) and then releases — so they are
+     * always empty by the time reset() runs a fresh attempt.
+     */
+    std::vector<SemanticLock> semantic_locks;
+    std::vector<SemanticUndo> semantic_undo;
+    /** @} */
+
+    /** StructureId of the tagged data structure the transaction is
+     * currently operating inside (0 = none). Host-only: feeds trace
+     * events and per-structure abort attribution; set/restored by
+     * core::StructureScope. */
+    u8 structure = 0;
 
     /** Snapshot timestamp (NOrec seqlock value / Tiny lower bound). */
     u64 snapshot = 0;

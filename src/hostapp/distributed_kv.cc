@@ -221,12 +221,21 @@ DistributedKv::DistributedKv(const DistributedKvConfig &cfg) : cfg_(cfg)
         stm_cfg.max_write_set = 8;
         stm_cfg.data_words_hint = cfg.capacity_per_shard * 2 + pin_cap * 2;
         stm_cfg.serial_fallback_after = cfg.stm_serial_fallback_after;
+        stm_cfg.boosting = cfg.boosting;
         shard.stm = core::makeStm(*shard.dpu, stm_cfg);
 
         shard.map = runtime::TxHashMap(*shard.dpu, sim::Tier::Mram,
                                        cfg.capacity_per_shard);
         shard.pins =
             runtime::TxHashMap(*shard.dpu, sim::Tier::Mram, pin_cap);
+        if (cfg.boosting) {
+            shard.bmap = std::make_unique<runtime::BoostedMap>(
+                *shard.dpu, *shard.stm, shard.map, 64,
+                core::StructureId::KvMap);
+            shard.bpins = std::make_unique<runtime::BoostedMap>(
+                *shard.dpu, *shard.stm, shard.pins, 64,
+                core::StructureId::KvPins);
+        }
     }
 }
 
@@ -250,6 +259,34 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
         tmp = Outcome{};
         u32 tok = 0;
         u32 v = 0;
+        // Same fragment logic either way; boosting only swaps the
+        // isolation mechanism (key-granular abstract locks instead of
+        // word-based read/write sets).
+        const bool boosted = shard.bmap != nullptr;
+        const auto mapInsert = [&](u32 k, u32 val) {
+            return boosted ? shard.bmap->insert(tx, k, val)
+                           : shard.map.insert(tx, k, val);
+        };
+        const auto mapLookup = [&](u32 k, u32 &out_v) {
+            return boosted ? shard.bmap->lookup(tx, k, out_v)
+                           : shard.map.lookup(tx, k, out_v);
+        };
+        const auto mapErase = [&](u32 k) {
+            return boosted ? shard.bmap->erase(tx, k)
+                           : shard.map.erase(tx, k);
+        };
+        const auto pinLookup = [&](u32 k, u32 &out_v) {
+            return boosted ? shard.bpins->lookup(tx, k, out_v)
+                           : shard.pins.lookup(tx, k, out_v);
+        };
+        const auto pinInsert = [&](u32 k, u32 val) {
+            return boosted ? shard.bpins->insert(tx, k, val)
+                           : shard.pins.insert(tx, k, val);
+        };
+        const auto pinErase = [&](u32 k) {
+            return boosted ? shard.bpins->erase(tx, k)
+                           : shard.pins.erase(tx, k);
+        };
         switch (it.kind) {
           case WorkItem::Kind::Op:
             // Reading the pin slot is what orders this op after the
@@ -257,19 +294,19 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
             // first we defer; if we commit first, the prepare's pin
             // insert conflicts with this read and the STM retries one
             // of the two.
-            if (check_pins && shard.pins.lookup(tx, it.key, tok)) {
+            if (check_pins && pinLookup(it.key, tok)) {
                 tmp.status = Outcome::Status::Deferred;
                 return;
             }
             switch (it.op) {
               case KvOp::Type::Put:
-                tmp.ok = shard.map.insert(tx, it.key, it.value);
+                tmp.ok = mapInsert(it.key, it.value);
                 break;
               case KvOp::Type::Get:
-                tmp.ok = shard.map.lookup(tx, it.key, tmp.value);
+                tmp.ok = mapLookup(it.key, tmp.value);
                 break;
               case KvOp::Type::Erase:
-                tmp.ok = shard.map.erase(tx, it.key);
+                tmp.ok = mapErase(it.key);
                 break;
             }
             tmp.status = Outcome::Status::Done;
@@ -278,39 +315,39 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
           case WorkItem::Kind::LocalMove:
             // Same-shard movek: one shard-local transaction, never a
             // degenerate 2PC. key = src, value = dst key.
-            if (check_pins && (shard.pins.lookup(tx, it.key, tok) ||
-                               shard.pins.lookup(tx, it.value, tok))) {
+            if (check_pins && (pinLookup(it.key, tok) ||
+                               pinLookup(it.value, tok))) {
                 tmp.status = Outcome::Status::Deferred;
                 return;
             }
-            if (!shard.map.lookup(tx, it.key, v) ||
-                shard.map.lookup(tx, it.value, tok)) {
+            if (!mapLookup(it.key, v) ||
+                mapLookup(it.value, tok)) {
                 tmp.status = Outcome::Status::Done; // predicate fail
                 return;
             }
             // Insert before erase: a full-table insert failure must
             // leave the source untouched.
-            if (!shard.map.insert(tx, it.value, v)) {
+            if (!mapInsert(it.value, v)) {
                 tmp.status = Outcome::Status::Done;
                 return;
             }
-            shard.map.erase(tx, it.key);
+            mapErase(it.key);
             tmp.ok = true;
             tmp.value = v;
             tmp.status = Outcome::Status::Done;
             break;
 
           case WorkItem::Kind::PrepareSrc:
-            if (shard.pins.lookup(tx, it.key, tok)) {
+            if (pinLookup(it.key, tok)) {
                 tmp.conflict = true;
                 tmp.status = Outcome::Status::Done;
                 return;
             }
-            if (!shard.map.lookup(tx, it.key, v)) {
+            if (!mapLookup(it.key, v)) {
                 tmp.status = Outcome::Status::Done; // predicate fail
                 return;
             }
-            if (!shard.pins.insert(tx, it.key, it.token)) {
+            if (!pinInsert(it.key, it.token)) {
                 tmp.conflict = true; // pin table full: retryable
                 tmp.status = Outcome::Status::Done;
                 return;
@@ -321,23 +358,23 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
             break;
 
           case WorkItem::Kind::PrepareDst:
-            if (shard.pins.lookup(tx, it.key, tok)) {
+            if (pinLookup(it.key, tok)) {
                 tmp.conflict = true;
                 tmp.status = Outcome::Status::Done;
                 return;
             }
-            if (shard.map.lookup(tx, it.key, v)) {
+            if (mapLookup(it.key, v)) {
                 tmp.status = Outcome::Status::Done; // occupied: fail
                 return;
             }
             // Reserve the slot now so the later commit is a guaranteed
             // overwrite — a commit must never fail on a full table.
-            if (!shard.map.insert(tx, it.key, 0)) {
+            if (!mapInsert(it.key, 0)) {
                 tmp.status = Outcome::Status::Done; // full: fail
                 return;
             }
-            if (!shard.pins.insert(tx, it.key, it.token)) {
-                shard.map.erase(tx, it.key); // undo the reservation
+            if (!pinInsert(it.key, it.token)) {
+                mapErase(it.key); // undo the reservation
                 tmp.conflict = true;
                 tmp.status = Outcome::Status::Done;
                 return;
@@ -349,35 +386,35 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
           case WorkItem::Kind::CommitSrc:
             // Decisions are idempotent, keyed on the pin token: a
             // re-delivered fragment finds its pin gone and acks.
-            if (shard.pins.lookup(tx, it.key, tok) && tok == it.token) {
-                shard.map.erase(tx, it.key);
-                shard.pins.erase(tx, it.key);
+            if (pinLookup(it.key, tok) && tok == it.token) {
+                mapErase(it.key);
+                pinErase(it.key);
                 tmp.ok = true;
             }
             tmp.status = Outcome::Status::Done;
             break;
 
           case WorkItem::Kind::CommitDst:
-            if (shard.pins.lookup(tx, it.key, tok) && tok == it.token) {
-                shard.map.insert(tx, it.key, it.value);
-                shard.pins.erase(tx, it.key);
+            if (pinLookup(it.key, tok) && tok == it.token) {
+                mapInsert(it.key, it.value);
+                pinErase(it.key);
                 tmp.ok = true;
             }
             tmp.status = Outcome::Status::Done;
             break;
 
           case WorkItem::Kind::AbortSrc:
-            if (shard.pins.lookup(tx, it.key, tok) && tok == it.token) {
-                shard.pins.erase(tx, it.key);
+            if (pinLookup(it.key, tok) && tok == it.token) {
+                pinErase(it.key);
                 tmp.ok = true;
             }
             tmp.status = Outcome::Status::Done;
             break;
 
           case WorkItem::Kind::AbortDst:
-            if (shard.pins.lookup(tx, it.key, tok) && tok == it.token) {
-                shard.map.erase(tx, it.key); // drop the reservation
-                shard.pins.erase(tx, it.key);
+            if (pinLookup(it.key, tok) && tok == it.token) {
+                mapErase(it.key); // drop the reservation
+                pinErase(it.key);
                 tmp.ok = true;
             }
             tmp.status = Outcome::Status::Done;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/stm_factory.hh"
+#include "runtime/boosted.hh"
 #include "runtime/tx_hashmap.hh"
 #include "sim/config.hh"
 #include "sim/dpu.hh"
@@ -220,6 +221,12 @@ struct DistributedKvConfig
     /** Pin-table capacity per shard; bounds in-flight fragments (a
      * prepare that cannot pin votes Conflict and retries). */
     u32 max_inflight_per_shard = 64;
+
+    /** Route shard-local map and pin-table accesses — including the
+     * 2PC prepare/decision fragments — through boosted views
+     * (runtime::BoostedMap, docs/boosting.md) instead of word-based
+     * transactions. */
+    bool boosting = false;
 };
 
 /** A KV store sharded over several simulated DPUs. */
@@ -347,6 +354,9 @@ class DistributedKv
         std::unique_ptr<core::Stm> stm;
         runtime::TxHashMap map;
         runtime::TxHashMap pins; ///< key -> in-flight tx token
+        /** Boosted views of map/pins; non-null iff cfg.boosting. */
+        std::unique_ptr<runtime::BoostedMap> bmap;
+        std::unique_ptr<runtime::BoostedMap> bpins;
         unsigned live_pins = 0;  ///< host view of committed pins
         bool pins_dirty = false; ///< pin table has tombstones to recycle
         u64 commits = 0;

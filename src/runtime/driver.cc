@@ -46,6 +46,8 @@ runWorkload(Workload &workload, const RunSpec &spec)
             static_cast<unsigned>(spec.cm_wait_polls_override);
     if (spec.serial_fallback_override)
         stm_cfg.serial_fallback_after = spec.serial_fallback_override;
+    if (spec.boosting)
+        stm_cfg.boosting = true;
 
     // Observability (host-only; docs/observability.md). The buffer is
     // shared with the RunResult; the Dpu and StmConfig only borrow it,

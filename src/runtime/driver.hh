@@ -94,6 +94,12 @@ struct RunSpec
      * i.e. off — StmConfig::serial_fallback_after). */
     unsigned serial_fallback_override = 0;
 
+    /** Route structure operations through the boosted library
+     * (StmConfig::boosting; docs/boosting.md). Workloads that have no
+     * boosted path ignore it. Off = bitwise-identical to a build
+     * without the boosting subsystem (CI-gated). */
+    bool boosting = false;
+
     /** Record a transaction/scheduler trace (docs/observability.md).
      * Host-only: a traced run is bitwise identical to an untraced one. */
     bool trace = false;

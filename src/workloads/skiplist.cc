@@ -47,8 +47,20 @@ SkipList::nodeIndex(sim::Addr a) const
 }
 
 void
-SkipList::setup(sim::Dpu &dpu, core::Stm &)
+SkipList::setup(sim::Dpu &dpu, core::Stm &stm)
 {
+    if (stm.config().boosting) {
+        // One stripe per possible value: adds/removes of distinct
+        // values never alias, so every wait is a true conflict.
+        u32 stripes = 64;
+        while (stripes < params_.value_range && stripes < 1024)
+            stripes <<= 1;
+        locks_ = std::make_unique<runtime::AbstractLockManager>(
+            dpu, stm, core::StructureId::SkipList, stripes);
+        latch_key_ = runtime::boostLatchKey(core::StructureId::SkipList);
+        version_ = runtime::SharedArray32(dpu, sim::Tier::Mram, 1);
+        version_.poke(dpu, 0, 0);
+    }
     dpu.mram().alloc(8); // keep node addresses non-zero
     pool_ = runtime::SharedArray32(
         dpu, sim::Tier::Mram,
@@ -118,20 +130,149 @@ SkipList::locate(core::TxHandle &tx, u32 value,
     return tx.read(preds[0] + 8);
 }
 
+sim::Addr
+SkipList::locateDirect(sim::DpuContext &ctx, u32 value,
+                       std::vector<sim::Addr> &preds)
+{
+    // Runs under the structure latch: the list is consistent, so a
+    // bound overrun is a structural bug, not a stale traversal.
+    preds.assign(params_.max_height, 0);
+    sim::Addr cur = nodeAddr(head_index_);
+    u64 steps = 0;
+    const u64 bound =
+        static_cast<u64>(params_.poolNodes()) * params_.max_height;
+    for (u32 level = params_.max_height; level-- > 0;) {
+        for (;;) {
+            panicIf(++steps > bound, "boosted skip-list traversal "
+                    "exceeded bound under latch");
+            const sim::Addr next = ctx.read32(cur + 8 + level * 4);
+            if (next == 0 || ctx.read32(next) >= value)
+                break;
+            cur = next;
+        }
+        preds[level] = cur;
+    }
+    return ctx.read32(preds[0] + 8);
+}
+
+/**
+ * Latch-free traversal. Reads the structure version word before and
+ * after the walk; a mismatch (or a step-bound overrun over recycled
+ * nodes) voids the attempt. Retries a few times, then reports !ok and
+ * the caller falls back to a latched locateDirect().
+ */
+SkipList::OptLocate
+SkipList::locateOptimistic(sim::DpuContext &ctx, u32 value,
+                           std::vector<sim::Addr> &preds)
+{
+    constexpr u32 kAttempts = 8;
+    const u32 bound = 4 * params_.max_height +
+                      2 * (params_.initial_size + params_.max_tasklets);
+    OptLocate r;
+    for (u32 attempt = 0; attempt < kAttempts; ++attempt) {
+        const u32 v0 = ctx.read32(version_.at(0));
+        preds.assign(params_.max_height, 0);
+        sim::Addr cur = nodeAddr(head_index_);
+        sim::Addr cand = 0;
+        u32 cand_value = 0;
+        u32 steps = 0;
+        bool overrun = false;
+        for (u32 level = params_.max_height; level-- > 0 && !overrun;) {
+            for (;;) {
+                if (++steps > bound) {
+                    overrun = true;
+                    break;
+                }
+                const sim::Addr next = ctx.read32(cur + 8 + level * 4);
+                if (next == 0) {
+                    cand = 0;
+                    cand_value = 0;
+                    break;
+                }
+                // Capture the candidate and its value in-loop: a
+                // re-read after the walk could observe a concurrent
+                // splice the version check would then miss.
+                const u32 nv = ctx.read32(next);
+                if (nv >= value) {
+                    cand = next;
+                    cand_value = nv;
+                    break;
+                }
+                cur = next;
+            }
+            preds[level] = cur;
+        }
+        if (overrun)
+            continue;
+        if (ctx.read32(version_.at(0)) == v0) {
+            r.cand = cand;
+            r.cand_value = cand_value;
+            r.version = v0;
+            r.ok = true;
+            return r;
+        }
+    }
+    return r;
+}
+
+void
+SkipList::undoAdd(sim::DpuContext &ctx, u32 node, u32 value, u32 height)
+{
+    runtime::LatchGuard latch(ctx, latch_key_);
+    std::vector<sim::Addr> preds;
+    locateDirect(ctx, value, preds);
+    const sim::Addr na = nodeAddr(node);
+    for (u32 l = 0; l < height; ++l) {
+        if (ctx.read32(preds[l] + 8 + l * 4) == na)
+            ctx.write32(preds[l] + 8 + l * 4,
+                        ctx.read32(na + 8 + l * 4));
+    }
+    ctx.write32(version_.at(0), ctx.read32(version_.at(0)) + 1);
+}
+
+void
+SkipList::undoRemove(sim::DpuContext &ctx, u32 node, u32 value,
+                     u32 height)
+{
+    // The removed node's value/height/next words were never cleared;
+    // splice it back in front of the current successors.
+    runtime::LatchGuard latch(ctx, latch_key_);
+    std::vector<sim::Addr> preds;
+    locateDirect(ctx, value, preds);
+    const sim::Addr na = nodeAddr(node);
+    for (u32 l = 0; l < height; ++l) {
+        ctx.write32(na + 8 + l * 4, ctx.read32(preds[l] + 8 + l * 4));
+        ctx.write32(preds[l] + 8 + l * 4, na);
+    }
+    ctx.write32(version_.at(0), ctx.read32(version_.at(0)) + 1);
+}
+
 bool
-SkipList::contains(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+SkipList::containsBoosted(sim::DpuContext &ctx, core::Stm &stm,
+                          u32 value)
 {
     bool found = false;
     std::vector<sim::Addr> preds;
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
-        const sim::Addr cand = locate(tx, value, preds);
-        found = cand != 0 && tx.read(cand) == value;
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
+        locks_->acquireKey(tx, value, false);
+        // The shared lock freezes `value`'s membership, so a
+        // version-validated latch-free walk decides it exactly.
+        const OptLocate loc = locateOptimistic(ctx, value, preds);
+        if (loc.ok) {
+            found = loc.cand != 0 && loc.cand_value == value;
+        } else {
+            runtime::LatchGuard latch(ctx, latch_key_);
+            const sim::Addr cand = locateDirect(ctx, value, preds);
+            found = cand != 0 && ctx.read32(cand) == value;
+        }
     });
     return found;
 }
 
 bool
-SkipList::add(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+SkipList::addBoosted(sim::DpuContext &ctx, core::Stm &stm, u32 value)
 {
     const unsigned me = ctx.taskletId();
     fatalIf(stashes_[me].empty(), "skip-list stash exhausted");
@@ -141,6 +282,128 @@ SkipList::add(sim::DpuContext &ctx, core::Stm &stm, u32 value)
     bool inserted = false;
     std::vector<sim::Addr> preds;
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
+        locks_->acquireKey(tx, value, true);
+        // Traverse outside the latch; the latch section only
+        // revalidates (one version read) and splices.
+        const OptLocate loc = locateOptimistic(ctx, value, preds);
+        {
+            runtime::LatchGuard latch(ctx, latch_key_);
+            if (!loc.ok ||
+                ctx.read32(version_.at(0)) != loc.version)
+                locateDirect(ctx, value, preds);
+            const sim::Addr cand = ctx.read32(preds[0] + 8);
+            if (cand != 0 && ctx.read32(cand) == value) {
+                inserted = false;
+                return;
+            }
+            ctx.write32(valueAddr(node), value);
+            ctx.write32(heightAddr(node), height);
+            for (u32 l = 0; l < height; ++l) {
+                const sim::Addr succ = ctx.read32(preds[l] + 8 + l * 4);
+                ctx.write32(nextAddr(node, l), succ);
+                ctx.write32(preds[l] + 8 + l * 4, nodeAddr(node));
+            }
+            ctx.write32(version_.at(0),
+                        ctx.read32(version_.at(0)) + 1);
+        }
+        if (!tx.descriptor().irrevocable) {
+            tx.descriptor().semantic_undo.push_back(core::SemanticUndo{
+                [this, node, value, height](sim::DpuContext &c) {
+                    undoAdd(c, node, value, height);
+                },
+                static_cast<u8>(core::StructureId::SkipList)});
+        }
+        inserted = true;
+    });
+    if (inserted)
+        stashes_[me].pop_back();
+    return inserted;
+}
+
+bool
+SkipList::removeBoosted(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    const unsigned me = ctx.taskletId();
+    bool removed = false;
+    u32 victim = 0;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
+        locks_->acquireKey(tx, value, true);
+        const OptLocate loc = locateOptimistic(ctx, value, preds);
+        u32 height = 0;
+        {
+            runtime::LatchGuard latch(ctx, latch_key_);
+            if (!loc.ok ||
+                ctx.read32(version_.at(0)) != loc.version)
+                locateDirect(ctx, value, preds);
+            const sim::Addr cand = ctx.read32(preds[0] + 8);
+            if (cand == 0 || ctx.read32(cand) != value) {
+                removed = false;
+                return;
+            }
+            height = ctx.read32(cand + 4);
+            for (u32 l = 0; l < height; ++l) {
+                const sim::Addr succ_of_pred =
+                    ctx.read32(preds[l] + 8 + l * 4);
+                if (succ_of_pred == cand) {
+                    ctx.write32(preds[l] + 8 + l * 4,
+                                ctx.read32(cand + 8 + l * 4));
+                }
+            }
+            ctx.write32(version_.at(0),
+                        ctx.read32(version_.at(0)) + 1);
+            victim = nodeIndex(cand);
+        }
+        if (!tx.descriptor().irrevocable) {
+            const u32 node = victim;
+            tx.descriptor().semantic_undo.push_back(core::SemanticUndo{
+                [this, node, value, height](sim::DpuContext &c) {
+                    undoRemove(c, node, value, height);
+                },
+                static_cast<u8>(core::StructureId::SkipList)});
+        }
+        removed = true;
+    });
+    if (removed)
+        stashes_[me].push_back(victim);
+    return removed;
+}
+
+bool
+SkipList::contains(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    if (locks_)
+        return containsBoosted(ctx, stm, value);
+    bool found = false;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
+        const sim::Addr cand = locate(tx, value, preds);
+        found = cand != 0 && tx.read(cand) == value;
+    });
+    return found;
+}
+
+bool
+SkipList::add(sim::DpuContext &ctx, core::Stm &stm, u32 value)
+{
+    if (locks_)
+        return addBoosted(ctx, stm, value);
+    const unsigned me = ctx.taskletId();
+    fatalIf(stashes_[me].empty(), "skip-list stash exhausted");
+    const u32 node = stashes_[me].back();
+    const u32 height = heightFor(value);
+
+    bool inserted = false;
+    std::vector<sim::Addr> preds;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
         const sim::Addr cand = locate(tx, value, preds);
         if (cand != 0 && tx.read(cand) == value) {
             inserted = false;
@@ -163,11 +426,15 @@ SkipList::add(sim::DpuContext &ctx, core::Stm &stm, u32 value)
 bool
 SkipList::remove(sim::DpuContext &ctx, core::Stm &stm, u32 value)
 {
+    if (locks_)
+        return removeBoosted(ctx, stm, value);
     const unsigned me = ctx.taskletId();
     bool removed = false;
     u32 victim = 0;
     std::vector<sim::Addr> preds;
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::SkipList);
         const sim::Addr cand = locate(tx, value, preds);
         if (cand == 0 || tx.read(cand) != value) {
             removed = false;

@@ -17,8 +17,10 @@
 #ifndef PIMSTM_WORKLOADS_SKIPLIST_HH
 #define PIMSTM_WORKLOADS_SKIPLIST_HH
 
+#include <memory>
 #include <vector>
 
+#include "runtime/boosted.hh"
 #include "runtime/driver.hh"
 #include "runtime/shared_array.hh"
 
@@ -116,12 +118,53 @@ class SkipList : public runtime::Workload
     bool add(sim::DpuContext &ctx, core::Stm &stm, u32 value);
     bool remove(sim::DpuContext &ctx, core::Stm &stm, u32 value);
 
+    /**
+     * @{ Boosted path (StmConfig::boosting; docs/boosting.md):
+     * value-granular abstract locks decide conflicts — adds/removes of
+     * different values commute even though they physically rewrite
+     * shared predecessor towers — while a structure latch serializes
+     * the physical relink. Inverse operations (unlink-for-add,
+     * relink-for-remove) are logged for abort.
+     */
+    sim::Addr locateDirect(sim::DpuContext &ctx, u32 value,
+                           std::vector<sim::Addr> &preds);
+    /**
+     * Result of a latch-free traversal: valid only when ok, i.e. the
+     * structure version was identical before and after the walk (no
+     * splice interleaved, so preds/cand describe a consistent snapshot
+     * as of @ref version).
+     */
+    struct OptLocate
+    {
+        sim::Addr cand = 0;
+        u32 cand_value = 0;
+        u32 version = 0;
+        bool ok = false;
+    };
+    OptLocate locateOptimistic(sim::DpuContext &ctx, u32 value,
+                               std::vector<sim::Addr> &preds);
+    bool containsBoosted(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+    bool addBoosted(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+    bool removeBoosted(sim::DpuContext &ctx, core::Stm &stm, u32 value);
+    void undoAdd(sim::DpuContext &ctx, u32 node, u32 value, u32 height);
+    void undoRemove(sim::DpuContext &ctx, u32 node, u32 value,
+                    u32 height);
+    /** @} */
+
     SkipListParams params_;
     runtime::SharedArray32 pool_;
     u32 head_index_ = 0;
     std::vector<std::vector<u32>> stashes_;
     std::vector<u64> add_ok_;
     std::vector<u64> remove_ok_;
+
+    /** Non-null when boosting is on (created in setup()). */
+    std::unique_ptr<runtime::AbstractLockManager> locks_;
+    u32 latch_key_ = 0;
+    /** Structure version word, bumped under the latch by every splice;
+     * lets optimistic mutator traversals validate their predecessor
+     * sets with a single read. */
+    runtime::SharedArray32 version_;
 };
 
 } // namespace pimstm::workloads

@@ -18,9 +18,34 @@ Vacation::configure(core::StmConfig &cfg) const
         params_.customers * params_.slots_per_customer;
 }
 
-void
-Vacation::setup(sim::Dpu &dpu, core::Stm &)
+namespace
 {
+
+/** Append one word-restoring inverse operation to the undo log. */
+void
+logRestore(core::TxHandle &tx, core::StructureId sid, sim::Addr addr,
+           u32 old_value)
+{
+    if (tx.descriptor().irrevocable)
+        return;
+    tx.descriptor().semantic_undo.push_back(core::SemanticUndo{
+        [addr, old_value](sim::DpuContext &c) {
+            c.write32(addr, old_value);
+        },
+        static_cast<u8>(sid)});
+}
+
+} // namespace
+
+void
+Vacation::setup(sim::Dpu &dpu, core::Stm &stm)
+{
+    if (stm.config().boosting) {
+        item_locks_ = std::make_unique<runtime::AbstractLockManager>(
+            dpu, stm, core::StructureId::VacationTables, 64);
+        customer_locks_ = std::make_unique<runtime::AbstractLockManager>(
+            dpu, stm, core::StructureId::VacationCustomers, 64);
+    }
     Rng rng(deriveSeed(dpu.config().seed, 0x7ac47101u));
     for (u32 t = 0; t < kNumTables; ++t) {
         free_[t] = runtime::SharedArray32(dpu, sim::Tier::Mram,
@@ -44,8 +69,162 @@ Vacation::setup(sim::Dpu &dpu, core::Stm &)
 }
 
 bool
+Vacation::makeReservationBoosted(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 customer =
+        static_cast<u32>(ctx.rng().below(params_.customers));
+    u32 queried[kNumTables][16];
+    panicIf(params_.query_range > 16, "query_range too large");
+    for (u32 t = 0; t < kNumTables; ++t)
+        for (u32 q = 0; q < params_.query_range; ++q)
+            queried[t][q] = static_cast<u32>(
+                ctx.rng().below(params_.items_per_table));
+
+    bool reserved = false;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        reserved = false;
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::VacationTables);
+        // Unlocked scan: availability/price reads here are only a
+        // heuristic for picking a candidate per table. Correctness
+        // comes from locking the three chosen items and revalidating
+        // below — the semantic operation is "reserve item", and only
+        // reservations of the same item conflict.
+        u32 chosen[kNumTables];
+        bool found_all = true;
+        for (u32 t = 0; t < kNumTables; ++t) {
+            u32 best_item = kEmptySlot;
+            u32 best_price = 0;
+            for (u32 q = 0; q < params_.query_range; ++q) {
+                const u32 item = queried[t][q];
+                const u32 avail = ctx.read32(freeAddr(t, item));
+                if (avail == 0)
+                    continue;
+                const u32 p = ctx.read32(priceAddr(t, item));
+                if (best_item == kEmptySlot || p < best_price) {
+                    best_item = item;
+                    best_price = p;
+                }
+            }
+            if (best_item == kEmptySlot) {
+                found_all = false;
+                break;
+            }
+            chosen[t] = best_item;
+        }
+        if (!found_all)
+            return; // nothing available: committed no-op
+
+        // Global order: customer lock, then items ascending.
+        customer_locks_->acquireKey(tx, customer, true);
+        u32 keys[kNumTables];
+        for (u32 t = 0; t < kNumTables; ++t)
+            keys[t] = itemKey(t, chosen[t]);
+        item_locks_->acquireKeys(tx, keys, kNumTables, true);
+
+        // Revalidate under the locks; a candidate that sold out since
+        // the scan makes this a committed failed reservation.
+        for (u32 t = 0; t < kNumTables; ++t) {
+            if (ctx.read32(freeAddr(t, chosen[t])) == 0)
+                return;
+        }
+
+        u32 free_slots[kNumTables];
+        u32 found_slots = 0;
+        for (u32 s = 0;
+             s < params_.slots_per_customer && found_slots < kNumTables;
+             ++s) {
+            if (ctx.read32(slotAddr(customer, s)) == kEmptySlot)
+                free_slots[found_slots++] = s;
+        }
+        if (found_slots < kNumTables)
+            return; // customer is fully booked: committed no-op
+
+        for (u32 t = 0; t < kNumTables; ++t) {
+            const u32 avail = ctx.read32(freeAddr(t, chosen[t]));
+            ctx.write32(freeAddr(t, chosen[t]), avail - 1);
+            logRestore(tx, core::StructureId::VacationTables,
+                       freeAddr(t, chosen[t]), avail);
+            ctx.write32(slotAddr(customer, free_slots[t]),
+                        encodeSlot(t, chosen[t]));
+            logRestore(tx, core::StructureId::VacationCustomers,
+                       slotAddr(customer, free_slots[t]), kEmptySlot);
+        }
+        reserved = true;
+    });
+    return reserved;
+}
+
+bool
+Vacation::deleteCustomerBoosted(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 customer =
+        static_cast<u32>(ctx.rng().below(params_.customers));
+    bool released_any = false;
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        released_any = false;
+        core::StructureScope scope(
+            tx.descriptor(), core::StructureId::VacationCustomers);
+        customer_locks_->acquireKey(tx, customer, true);
+        // Discover held reservations under the customer lock, then
+        // lock their items (ascending) before releasing them.
+        u32 held_slot[64];
+        u32 held_val[64];
+        u32 keys[64];
+        u32 n = 0;
+        panicIf(params_.slots_per_customer > 64,
+                "slots_per_customer too large for boosted delete");
+        for (u32 s = 0; s < params_.slots_per_customer; ++s) {
+            const u32 v = ctx.read32(slotAddr(customer, s));
+            if (v == kEmptySlot)
+                continue;
+            held_slot[n] = s;
+            held_val[n] = v;
+            keys[n] = itemKey(v >> 24, v & 0xffffffu);
+            ++n;
+        }
+        if (n == 0)
+            return;
+        item_locks_->acquireKeys(tx, keys, n, true);
+        for (u32 i = 0; i < n; ++i) {
+            const u32 t = held_val[i] >> 24;
+            const u32 item = held_val[i] & 0xffffffu;
+            const u32 avail = ctx.read32(freeAddr(t, item));
+            ctx.write32(freeAddr(t, item), avail + 1);
+            logRestore(tx, core::StructureId::VacationTables,
+                       freeAddr(t, item), avail);
+            ctx.write32(slotAddr(customer, held_slot[i]), kEmptySlot);
+            logRestore(tx, core::StructureId::VacationCustomers,
+                       slotAddr(customer, held_slot[i]), held_val[i]);
+        }
+        released_any = true;
+    });
+    return released_any;
+}
+
+void
+Vacation::updateTablesBoosted(sim::DpuContext &ctx, core::Stm &stm)
+{
+    const u32 t = static_cast<u32>(ctx.rng().below(kNumTables));
+    const u32 item =
+        static_cast<u32>(ctx.rng().below(params_.items_per_table));
+    const u32 new_price = static_cast<u32>(ctx.rng().range(50, 500));
+    core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::VacationTables);
+        item_locks_->acquireKey(tx, itemKey(t, item), true);
+        const u32 old = ctx.read32(priceAddr(t, item));
+        ctx.write32(priceAddr(t, item), new_price);
+        logRestore(tx, core::StructureId::VacationTables,
+                   priceAddr(t, item), old);
+    });
+}
+
+bool
 Vacation::makeReservation(sim::DpuContext &ctx, core::Stm &stm)
 {
+    if (item_locks_)
+        return makeReservationBoosted(ctx, stm);
     const u32 customer =
         static_cast<u32>(ctx.rng().below(params_.customers));
     // Pre-draw the queried items so retries look at the same set.
@@ -58,6 +237,8 @@ Vacation::makeReservation(sim::DpuContext &ctx, core::Stm &stm)
 
     bool reserved = false;
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::VacationTables);
         reserved = false;
         // Cheapest available item per table.
         u32 chosen[kNumTables];
@@ -111,10 +292,14 @@ Vacation::makeReservation(sim::DpuContext &ctx, core::Stm &stm)
 bool
 Vacation::deleteCustomer(sim::DpuContext &ctx, core::Stm &stm)
 {
+    if (customer_locks_)
+        return deleteCustomerBoosted(ctx, stm);
     const u32 customer =
         static_cast<u32>(ctx.rng().below(params_.customers));
     bool released_any = false;
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(
+            tx.descriptor(), core::StructureId::VacationCustomers);
         released_any = false;
         for (u32 s = 0; s < params_.slots_per_customer; ++s) {
             const u32 v = tx.read(slotAddr(customer, s));
@@ -134,11 +319,17 @@ Vacation::deleteCustomer(sim::DpuContext &ctx, core::Stm &stm)
 void
 Vacation::updateTables(sim::DpuContext &ctx, core::Stm &stm)
 {
+    if (item_locks_) {
+        updateTablesBoosted(ctx, stm);
+        return;
+    }
     const u32 t = static_cast<u32>(ctx.rng().below(kNumTables));
     const u32 item =
         static_cast<u32>(ctx.rng().below(params_.items_per_table));
     const u32 new_price = static_cast<u32>(ctx.rng().range(50, 500));
     core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+        core::StructureScope scope(tx.descriptor(),
+                                   core::StructureId::VacationTables);
         tx.write(priceAddr(t, item), new_price);
     });
 }

@@ -23,6 +23,9 @@
 #ifndef PIMSTM_WORKLOADS_VACATION_HH
 #define PIMSTM_WORKLOADS_VACATION_HH
 
+#include <memory>
+
+#include "runtime/boosted.hh"
 #include "runtime/driver.hh"
 #include "runtime/shared_array.hh"
 
@@ -119,7 +122,28 @@ class Vacation : public runtime::Workload
     bool deleteCustomer(sim::DpuContext &ctx, core::Stm &stm);
     void updateTables(sim::DpuContext &ctx, core::Stm &stm);
 
+    /**
+     * @{ Boosted path (docs/boosting.md). Item-granular locks on the
+     * reservation tables plus customer-granular locks on the slot
+     * table; the global acquisition order is customer lock first, then
+     * item keys in ascending stripe order, so composed actions are
+     * deadlock-free. All mutated words sit under exclusive abstract
+     * locks, so no physical latch is needed; undo closures restore the
+     * displaced word values.
+     */
+    u32 itemKey(u32 t, u32 i) const
+    {
+        return t * params_.items_per_table + i;
+    }
+    bool makeReservationBoosted(sim::DpuContext &ctx, core::Stm &stm);
+    bool deleteCustomerBoosted(sim::DpuContext &ctx, core::Stm &stm);
+    void updateTablesBoosted(sim::DpuContext &ctx, core::Stm &stm);
+    /** @} */
+
     VacationParams params_;
+    /** Non-null when boosting is on (created in setup()). */
+    std::unique_ptr<runtime::AbstractLockManager> item_locks_;
+    std::unique_ptr<runtime::AbstractLockManager> customer_locks_;
     runtime::SharedArray32 free_[kNumTables];
     runtime::SharedArray32 price_[kNumTables];
     runtime::SharedArray32 slots_;
