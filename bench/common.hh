@@ -61,6 +61,7 @@
 
 #include "runtime/dpu_pool.hh"
 #include "runtime/driver.hh"
+#include "runtime/shared_array.hh"
 #include "sim/fault.hh"
 #include "util/logging.hh"
 #include "util/stats_math.hh"
@@ -424,6 +425,114 @@ class TraceFileWriter
     bool registered_ = false;
 };
 
+/**
+ * Contention-knob flags (README §flags), part of the common grammar:
+ * BenchOptions::parse consumes them for every harness and
+ * BenchOptions::applyTo copies them into the sweep base. tryParse()
+ * keeps the ExtraFlag hook shape so a harness with its own parser can
+ * reuse it standalone.
+ *
+ *   --backoff=BASE:SHIFT  post-abort randomized backoff: base window
+ *                 in cycles (>= 1) and the doubling cap as a shift
+ *                 (window <= BASE << SHIFT). Defaults 16:12.
+ *   --cm=POLLS:CYCLES  wait-on-contention manager: polls of a held
+ *                 lock before aborting (0 = abort immediately) and the
+ *                 per-poll wait in cycles (>= 1). Defaults 0:64.
+ *
+ * Malformed values print a diagnostic and exit(2), exactly like the
+ * common flags. Passing the defaults explicitly is bitwise identical
+ * to not passing the flag (CI-gated).
+ */
+struct KnobFlags
+{
+    /** @{ --backoff=BASE:SHIFT (set = the flag was given). */
+    bool backoff_set = false;
+    Cycles backoff_base = 0;
+    unsigned backoff_max_shift = 0;
+    /** @} */
+
+    /** @{ --cm=POLLS:CYCLES. */
+    bool cm_set = false;
+    unsigned cm_polls = 0;
+    Cycles cm_cycles = 0;
+    /** @} */
+
+    /** ExtraFlag hook body: consume --backoff=/--cm= (exit 2 when
+     * malformed), return false on anything else. */
+    bool
+    tryParse(const char *prog, const std::string &a)
+    {
+        if (a.rfind("--backoff=", 0) == 0) {
+            u64 base = 0, shift = 0;
+            parsePair(prog, a, "--backoff=", base, shift);
+            if (base == 0)
+                knobError(prog, a, "BASE must be at least 1");
+            if (shift > 32)
+                knobError(prog, a, "SHIFT must be at most 32");
+            backoff_set = true;
+            backoff_base = base;
+            backoff_max_shift = static_cast<unsigned>(shift);
+            return true;
+        }
+        if (a.rfind("--cm=", 0) == 0) {
+            u64 polls = 0, cycles = 0;
+            parsePair(prog, a, "--cm=", polls, cycles);
+            if (cycles == 0)
+                knobError(prog, a, "CYCLES must be at least 1");
+            cm_set = true;
+            cm_polls = static_cast<unsigned>(polls);
+            cm_cycles = cycles;
+            return true;
+        }
+        return false;
+    }
+
+    /** Copy the given knobs into a RunSpec (sweep base config). */
+    void
+    applyTo(runtime::RunSpec &spec) const
+    {
+        if (backoff_set) {
+            spec.abort_backoff_base_override = backoff_base;
+            spec.abort_backoff_max_shift_override =
+                static_cast<int>(backoff_max_shift);
+        }
+        if (cm_set) {
+            spec.cm_wait_polls_override = static_cast<int>(cm_polls);
+            spec.cm_wait_cycles_override = cm_cycles;
+        }
+    }
+
+  private:
+    [[noreturn]] static void
+    knobError(const char *prog, const std::string &arg, const char *why)
+    {
+        std::cerr << (prog ? prog : "bench") << ": invalid option '"
+                  << arg << "': " << why << "\n";
+        std::exit(2);
+    }
+
+    /** Strict A:B decimal parse of the value after @p prefix. */
+    static void
+    parsePair(const char *prog, const std::string &arg,
+              const char *prefix, u64 &first_out, u64 &second_out)
+    {
+        const std::string v = arg.substr(std::strlen(prefix));
+        const auto colon = v.find(':');
+        if (colon == std::string::npos)
+            knobError(prog, arg, "expected A:B");
+        auto parseOne = [&](const std::string &s, u64 &out) {
+            const char *first = s.data();
+            const char *last = s.data() + s.size();
+            const auto [ptr, ec] = std::from_chars(first, last, out);
+            if (s.empty() || ec != std::errc() || ptr != last)
+                knobError(prog, arg,
+                          "expected an unsigned decimal integer");
+        };
+        parseOne(v.substr(0, colon), first_out);
+        parseOne(v.substr(colon + 1), second_out);
+    }
+};
+
 /** Command-line options shared by all harnesses. */
 struct BenchOptions
 {
@@ -450,6 +559,8 @@ struct BenchOptions
     std::string trace_out;
     /** Per-run trace ring capacity from --trace-buf=. */
     size_t trace_buf = 4096;
+    /** Static contention-knob starting points (--backoff=, --cm=). */
+    KnobFlags knobs;
 
     /** Hook for harness-specific flags: return true when the argument
      * was recognised and consumed. Checked before the unknown-flag
@@ -524,6 +635,8 @@ struct BenchOptions
                 o.trace_buf = parseU64(argv[0], a, "--trace-buf=");
                 if (o.trace_buf == 0)
                     usageError(argv[0], a, "must be at least 1");
+            } else if (o.knobs.tryParse(argv[0], a)) {
+                // common contention knobs (--backoff=, --cm=)
             } else if (extra && extra(a)) {
                 // consumed by the harness-specific hook
             } else
@@ -559,6 +672,7 @@ struct BenchOptions
             spec.trace = true;
             spec.trace_buffer_capacity = trace_buf;
         }
+        knobs.applyTo(spec);
     }
 
   private:
@@ -684,7 +798,8 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
     const std::string point_label =
         std::string(core::stmKindName(kind)) + "/" +
         core::metadataTierName(tier) + "/t" + std::to_string(tasklets) +
-        (base.boosting ? "/boosted" : "");
+        (base.boosting ? "/boosted" : "") +
+        (base.adaptive.enabled ? "/adaptive" : "");
 
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;
@@ -814,6 +929,167 @@ sweepKinds(const std::string &title, const WorkloadFactory &factory,
     std::cout << "\n";
     return results;
 }
+
+/** Parameters shaping a PhasedWorkload instance. */
+struct PhasedParams
+{
+    /** Words in the large read/scan region. */
+    u32 large_words = 8192;
+    /** Words in the tiny contended RMW region. */
+    u32 hot_words = 8;
+
+    /** @{ Phase 1 — read-heavy, low contention. */
+    u32 read_txs = 40;  ///< transactions per tasklet
+    u32 read_ops = 40;  ///< random reads per transaction
+    /** @} */
+
+    /** @{ Phase 2 — high-contention writes on the hot region. */
+    u32 write_txs = 120;
+    u32 rmw_ops = 4;
+    /** @} */
+
+    /** @{ Phase 3 — scans with sparse updates: long read sets plus a
+     * few random-word RMWs. The writers make this the regime where
+     * value-validation STMs (NOrec) revalidate whole scans per
+     * concurrent commit while per-word-lock kinds are untouched. */
+    u32 scan_txs = 16;
+    u32 scan_ops = 128;
+    u32 scan_rmw = 2;
+    /** @} */
+
+    static PhasedParams
+    quick()
+    {
+        return {};
+    }
+
+    static PhasedParams
+    full()
+    {
+        PhasedParams p;
+        p.read_txs = 120;
+        p.write_txs = 400;
+        p.scan_txs = 40;
+        return p;
+    }
+
+    u32 totalWords() const { return large_words + hot_words; }
+};
+
+/**
+ * The phased workload behind bench/ablation_adaptive: each tasklet
+ * runs three back-to-back phases whose contention regimes differ —
+ * read-heavy random reads over a large region, then tiny
+ * read-modify-write transactions on a hot region (high contention),
+ * then long scans with sparse random-word updates. No single static
+ * configuration is right for all three, which is what the epoch
+ * controller exploits (docs/adaptive.md).
+ *
+ * Invariant: every write is a +1 RMW on some word, so
+ *     sum(array) == phase-2 commits x rmw_ops
+ *                 + phase-3 commits x scan_rmw.
+ */
+class PhasedWorkload : public runtime::Workload
+{
+  public:
+    explicit PhasedWorkload(const PhasedParams &params)
+        : params_(params)
+    {}
+
+    const char *name() const override { return "Phased"; }
+
+    void
+    configure(core::StmConfig &cfg) const override
+    {
+        cfg.max_read_set =
+            std::max({params_.read_ops,
+                      params_.scan_ops + params_.scan_rmw,
+                      params_.rmw_ops}) +
+            8;
+        cfg.max_write_set =
+            std::max(params_.rmw_ops, params_.scan_rmw) + 8;
+        cfg.data_words_hint = params_.totalWords();
+    }
+
+    void
+    setup(sim::Dpu &dpu, core::Stm &) override
+    {
+        array_ = runtime::SharedArray32(dpu, sim::Tier::Mram,
+                                        params_.totalWords());
+        array_.fill(dpu, 0);
+        rmw_commits_ = 0;
+        scan_commits_ = 0;
+    }
+
+    void
+    tasklet(sim::DpuContext &ctx, core::Stm &stm) override
+    {
+        // Phase 1: read-heavy over the large region.
+        for (u32 t = 0; t < params_.read_txs; ++t) {
+            core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+                for (u32 i = 0; i < params_.read_ops; ++i) {
+                    const u32 idx = static_cast<u32>(
+                        ctx.rng().below(params_.large_words));
+                    tx.read(array_.at(idx));
+                }
+            });
+        }
+        // Phase 2: contended RMWs on the hot region.
+        for (u32 t = 0; t < params_.write_txs; ++t) {
+            core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+                for (u32 i = 0; i < params_.rmw_ops; ++i) {
+                    const u32 idx = params_.large_words +
+                        static_cast<u32>(
+                            ctx.rng().below(params_.hot_words));
+                    const u32 v = tx.read(array_.at(idx));
+                    tx.write(array_.at(idx), v + 1);
+                }
+            });
+            // Tasklets are fibers of one simulated DPU: no host race.
+            ++rmw_commits_;
+        }
+        // Phase 3: long scans with a few sparse random-word updates —
+        // the concurrent writers force value-validation kinds to
+        // revalidate whole scans while per-word locks see no conflict.
+        for (u32 t = 0; t < params_.scan_txs; ++t) {
+            core::atomically(stm, ctx, [&](core::TxHandle &tx) {
+                const u32 span = params_.large_words > params_.scan_ops
+                    ? params_.large_words - params_.scan_ops
+                    : 1;
+                const u32 start =
+                    static_cast<u32>(ctx.rng().below(span));
+                for (u32 i = 0; i < params_.scan_ops; ++i)
+                    tx.read(array_.at(start + i));
+                for (u32 i = 0; i < params_.scan_rmw; ++i) {
+                    const u32 idx = static_cast<u32>(
+                        ctx.rng().below(params_.large_words));
+                    const u32 v = tx.read(array_.at(idx));
+                    tx.write(array_.at(idx), v + 1);
+                }
+            });
+            ++scan_commits_;
+        }
+    }
+
+    void
+    verify(sim::Dpu &dpu, core::Stm &) override
+    {
+        u64 sum = 0;
+        for (u32 i = 0; i < params_.totalWords(); ++i)
+            sum += array_.peek(dpu, i);
+        const u64 expected =
+            rmw_commits_ * static_cast<u64>(params_.rmw_ops) +
+            scan_commits_ * static_cast<u64>(params_.scan_rmw);
+        fatalIf(sum != expected, "PhasedWorkload invariant broken: sum ",
+                sum, " != committed RMW count ", expected);
+    }
+
+  private:
+    PhasedParams params_;
+    runtime::SharedArray32 array_;
+    u64 rmw_commits_ = 0;
+    u64 scan_commits_ = 0;
+};
 
 /** Peak throughput over the tasklet series for one (kind, tier). */
 inline double

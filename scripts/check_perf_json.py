@@ -69,6 +69,23 @@ def main():
     if nb != nf:
         failures.append(f"point count: baseline {nb} != fresh {nf}")
 
+    # The epoch controller's decision log is simulated state too: when
+    # both artifacts carry an "adaptive" block it must match exactly
+    # (docs/adaptive.md) — any drift means adaptation decisions changed.
+    ba, fa = base.get("adaptive"), fresh.get("adaptive")
+    if ba is not None and fa is not None and ba != fa:
+        for field in ("epochs", "final_kind", "final_tasklet_limit",
+                      "promotions", "demotions"):
+            if ba.get(field) != fa.get(field):
+                failures.append(f"adaptive.{field}: baseline "
+                                f"{ba.get(field)} != fresh {fa.get(field)}")
+        bd, fd = ba.get("decisions", []), fa.get("decisions", [])
+        if bd != fd:
+            failures.append(f"adaptive.decisions: baseline {len(bd)} "
+                            f"decisions != fresh {len(fd)} (first "
+                            f"divergence at index "
+                            f"{next((i for i, (x, y) in enumerate(zip(bd, fd)) if x != y), min(len(bd), len(fd)))})")
+
     # Host performance: informational only.
     bw = base.get("totals", {}).get("wall_s")
     fw = fresh.get("totals", {}).get("wall_s")

@@ -16,7 +16,9 @@ from its "trace" block:
   - the boosted-library counters (abstract-lock acquires/waits,
     semantic undos, false conflicts avoided) when boosting ran,
   - the log2 histograms (transaction latency, commit latency, and
-    read/write-set size at commit).
+    read/write-set size at commit),
+  - the epoch-controller decision timeline from the "adaptive" block
+    (docs/adaptive.md) when the bench ran with online adaptation.
 
 With a --trace-out Perfetto file, prints per-track event counts and
 the abort breakdown reconstructed from the "abort" instant events.
@@ -54,11 +56,38 @@ def print_histogram(name, h):
         print(f"  >= {low:>12}  {count:>10}  {bar(count, peak)}")
 
 
+def report_adaptive(adaptive):
+    """Decision timeline of the epoch controller (docs/adaptive.md)."""
+    print("== adaptive controller timeline ==")
+    print(f"  epochs: {adaptive['epochs']}, "
+          f"final kind: {adaptive['final_kind']}, "
+          f"final tasklet limit: {adaptive['final_tasklet_limit']} "
+          f"(0 = unthrottled)")
+    print(f"  hot-lock migrations: {adaptive['promotions']} promoted, "
+          f"{adaptive['demotions']} demoted")
+    decisions = adaptive.get("decisions", [])
+    if not decisions:
+        print("  (no decisions — every epoch was within policy bands)")
+        return
+    actions = Counter(d["action"] for d in decisions)
+    print("  decisions:"
+          + "".join(f" {n}={c}" for n, c in actions.most_common()))
+    for d in decisions:
+        print(f"  @{d['cycle']:>12} epoch {d['epoch']:>5}  "
+              f"{d['action']:<16} value={d['value']:g}")
+
+
 def report_perf_json(data, top_k):
     trace = data.get("trace")
+    adaptive = data.get("adaptive")
     if trace is None:
-        sys.exit("error: no 'trace' block in this artifact — rerun the "
-                 "bench with --trace (see docs/observability.md)")
+        if adaptive is not None:
+            report_adaptive(adaptive)
+            return
+        sys.exit("error: no 'trace' or 'adaptive' block in this "
+                 "artifact — rerun the bench with --trace (see "
+                 "docs/observability.md) or with online adaptation "
+                 "(docs/adaptive.md)")
 
     print(f"trace: {trace['runs']} traced runs, "
           f"{trace['dropped']} ring-dropped records "
@@ -116,6 +145,9 @@ def report_perf_json(data, top_k):
         if key in trace:
             print_histogram(label, trace[key])
             print()
+
+    if adaptive is not None:
+        report_adaptive(adaptive)
 
 
 def report_perfetto(events, top_k):

@@ -96,6 +96,29 @@ struct StmStats
     /** @} */
 
     /**
+     * @{ Contention-signal counters consumed by the epoch adaptation
+     * controller (docs/adaptive.md). Host-side tallies of costs the
+     * simulator already charges elsewhere — maintaining them never
+     * changes the charge sequence, so they are free to sample.
+     */
+    /** Poll rounds spent waiting on a held ORec / seqlock (the
+     * wait-on-contention manager and NOrec's start wait). */
+    u64 lock_waits = 0;
+    /** Simulated cycles spent in those waits. */
+    u64 lock_wait_cycles = 0;
+    /** Simulated cycles spent in post-abort randomized backoff. */
+    u64 backoff_cycles = 0;
+    /** txStart polls spent parked by the dynamic tasklet throttle. */
+    u64 park_polls = 0;
+    /** Live STM-kind switches performed (SwitchableStm). */
+    u64 kind_switches = 0;
+    /** Lock-table entries migrated between tiers (settled
+     * promotions + demotions, each charged through the transfer
+     * cost model on first access). */
+    u64 lock_migrations = 0;
+    /** @} */
+
+    /**
      * Abort rate as the paper plots it: aborted executions over all
      * transaction executions (commits + aborts).
      */
@@ -129,6 +152,12 @@ struct StmStats
         boosted_waits += o.boosted_waits;
         semantic_undos += o.semantic_undos;
         false_conflicts_avoided += o.false_conflicts_avoided;
+        lock_waits += o.lock_waits;
+        lock_wait_cycles += o.lock_wait_cycles;
+        backoff_cycles += o.backoff_cycles;
+        park_polls += o.park_polls;
+        kind_switches += o.kind_switches;
+        lock_migrations += o.lock_migrations;
         return *this;
     }
 };

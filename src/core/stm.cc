@@ -209,9 +209,50 @@ Stm::dumpDiagnostics(std::ostream &os) const
     os << "\n";
 }
 
+u32
+Stm::computedLockTableEntries() const
+{
+    u32 entries = cfg_.lock_table_entries_override
+        ? cfg_.lock_table_entries_override
+        : static_cast<u32>(nextPow2(cfg_.data_words_hint));
+    entries = std::max(entries, cfg_.min_lock_table_entries);
+    entries = std::min(entries, cfg_.max_lock_table_entries);
+    fatalIf(!isPow2(entries), "lock-table size must be a power of two");
+    return entries;
+}
+
+void
+Stm::initLockAdaptState()
+{
+    if (lock_table_entries_ == 0)
+        return;
+    if (cfg_.lock_heat || hot_capacity_ != 0)
+        lock_heat_.assign(lock_table_entries_, 0);
+    if (hot_capacity_ != 0)
+        hot_state_.assign(lock_table_entries_, kCold);
+}
+
 void
 Stm::reserveMetadata()
 {
+    if (cfg_.external_layout) {
+        // An enclosing SwitchableStm reserved the maximum footprint
+        // across its candidates once; this instance only derives the
+        // geometry its lock indexing and charging need.
+        if (lockTableEntryBytes() == 0) {
+            lock_table_entries_ = 0;
+            lock_table_tier_ = toSimTier(cfg_.metadata_tier);
+            return;
+        }
+        lock_table_entries_ = computedLockTableEntries();
+        lock_table_tier_ = cfg_.external_table_tier;
+        if (lock_table_tier_ != Tier::Wram)
+            hot_capacity_ =
+                std::min(cfg_.hot_lock_capacity, lock_table_entries_);
+        initLockAdaptState();
+        return;
+    }
+
     // Per-tasklet descriptors (read set + write set + lock list).
     const size_t per_tasklet =
         static_cast<size_t>(cfg_.max_read_set) * readEntryBytes() +
@@ -240,12 +281,7 @@ Stm::reserveMetadata()
         return;
     }
 
-    u32 entries = cfg_.lock_table_entries_override
-        ? cfg_.lock_table_entries_override
-        : static_cast<u32>(nextPow2(cfg_.data_words_hint));
-    entries = std::max(entries, cfg_.min_lock_table_entries);
-    entries = std::min(entries, cfg_.max_lock_table_entries);
-    fatalIf(!isPow2(entries), "lock-table size must be a power of two");
+    const u32 entries = computedLockTableEntries();
     lock_table_entries_ = entries;
 
     const size_t table_bytes = static_cast<size_t>(entries) * entry_bytes;
@@ -267,6 +303,20 @@ Stm::reserveMetadata()
     else
         meta_bytes_mram_ += table_bytes;
     lock_table_tier_ = table_tier;
+
+    // WRAM hot-lock cache (docs/adaptive.md): reserved up front (the
+    // bump allocator cannot free); inert when the table is already
+    // WRAM-resident or the region does not fit.
+    const u32 hot = std::min(cfg_.hot_lock_capacity, entries);
+    if (hot != 0 && table_tier != Tier::Wram) {
+        const size_t hot_bytes = static_cast<size_t>(hot) * entry_bytes;
+        if (dpu_.wram().canAlloc(hot_bytes)) {
+            dpu_.wram().alloc(hot_bytes);
+            meta_bytes_wram_ += hot_bytes;
+            hot_capacity_ = hot;
+        }
+    }
+    initLockAdaptState();
 }
 
 void
@@ -282,15 +332,115 @@ Stm::metaWrite(DpuContext &ctx, size_t bytes)
 }
 
 void
-Stm::lockTableRead(DpuContext &ctx, size_t bytes)
+Stm::lockTableRead(DpuContext &ctx, u32 index, size_t bytes)
 {
+    if (!lock_heat_.empty())
+        ++lock_heat_[index];
+    if (!hot_state_.empty()) {
+        if (hot_state_[index] >= kPromotePending)
+            settleMigration(ctx, index);
+        if (hot_state_[index] == kHot) {
+            ctx.touchRead(Tier::Wram, bytes);
+            return;
+        }
+    }
     ctx.touchRead(lock_table_tier_, bytes);
 }
 
 void
-Stm::lockTableWrite(DpuContext &ctx, size_t bytes)
+Stm::lockTableWrite(DpuContext &ctx, u32 index, size_t bytes)
 {
+    if (!lock_heat_.empty())
+        ++lock_heat_[index];
+    if (!hot_state_.empty()) {
+        if (hot_state_[index] >= kPromotePending)
+            settleMigration(ctx, index);
+        if (hot_state_[index] == kHot) {
+            ctx.touchWrite(Tier::Wram, bytes);
+            return;
+        }
+    }
     ctx.touchWrite(lock_table_tier_, bytes);
+}
+
+void
+Stm::settleMigration(DpuContext &ctx, u32 index)
+{
+    // Lazy settlement: the controller only flips host-side state; the
+    // copy itself is charged here, on the first post-decision access,
+    // through the same transfer cost model as any other traffic.
+    const size_t entry_bytes = lockTableEntryBytes();
+    u8 &st = hot_state_[index];
+    if (st == kPromotePending) {
+        ctx.touchRead(lock_table_tier_, entry_bytes);
+        ctx.touchWrite(Tier::Wram, entry_bytes);
+        st = kHot;
+    } else {
+        ctx.touchRead(Tier::Wram, entry_bytes);
+        ctx.touchWrite(lock_table_tier_, entry_bytes);
+        st = kCold;
+    }
+    ++stats_.lock_migrations;
+}
+
+void
+Stm::migrateLocks(const std::vector<u32> &promote,
+                  const std::vector<u32> &demote)
+{
+    if (hot_state_.empty())
+        return;
+    // Host-only decision flip; cost is charged lazily in settleMigration.
+    // Demotions first so a promote/demote pair in the same epoch never
+    // transiently exceeds the hot capacity.
+    for (u32 i : demote) {
+        if (i >= hot_state_.size())
+            continue;
+        u8 &st = hot_state_[i];
+        if (st == kHot)
+            st = kDemotePending;
+        else if (st == kPromotePending)
+            st = kCold; // never copied up: cancellation is free
+    }
+    for (u32 i : promote) {
+        if (i >= hot_state_.size())
+            continue;
+        u8 &st = hot_state_[i];
+        if (st == kCold)
+            st = kPromotePending;
+        else if (st == kDemotePending)
+            st = kHot; // still WRAM-resident: cancel the eviction
+    }
+}
+
+void
+Stm::setBackoffParams(Cycles base, unsigned max_shift)
+{
+    if (base == 0) {
+        cfg_.abort_backoff = false;
+        cfg_.abort_backoff_base = 1;
+    } else {
+        cfg_.abort_backoff = true;
+        cfg_.abort_backoff_base = base;
+    }
+    cfg_.abort_backoff_max_shift = max_shift;
+}
+
+void
+Stm::setCmWaitPolls(unsigned polls)
+{
+    cfg_.cm_wait_polls = polls;
+}
+
+void
+Stm::setCmWaitCycles(Cycles cycles)
+{
+    cfg_.cm_wait_cycles = cycles;
+}
+
+void
+Stm::setTaskletLimit(unsigned limit)
+{
+    tasklet_limit_ = limit;
 }
 
 void
@@ -415,6 +565,14 @@ void
 Stm::txStart(DpuContext &ctx, TxDescriptor &tx)
 {
     panicIf(!layout_done_, "STM used before finalizeLayout");
+    // Dynamic throttle (docs/adaptive.md): surplus tasklets park at the
+    // transaction boundary — the one point where holding no ownership
+    // records is guaranteed — until the controller raises the limit.
+    // A single always-false compare when throttling is off.
+    while (tasklet_limit_ != 0 && tx.tasklet() >= tasklet_limit_) {
+        ++stats_.park_polls;
+        ctx.delay(cfg_.park_poll_cycles);
+    }
     maybeInjectFault(ctx, tx, /*can_abort=*/false, /*in_tx=*/false);
     ctx.txAccountingBegin();
     ctx.setPhase(sim::Phase::TxStart);
@@ -553,8 +711,10 @@ Stm::txAbort(DpuContext &ctx, TxDescriptor &tx, AbortReason reason,
         const unsigned shift = static_cast<unsigned>(
             std::min<u64>(tx.retries, cfg_.abort_backoff_max_shift));
         const Cycles window = cfg_.abort_backoff_base << shift;
+        const Cycles d = ctx.rng().range(1, window);
+        stats_.backoff_cycles += d;
         ctx.setPhase(sim::Phase::Wasted);
-        ctx.delay(ctx.rng().range(1, window));
+        ctx.delay(d);
     }
     ctx.setPhase(sim::Phase::NonTx);
     throw TxAbortException{reason};

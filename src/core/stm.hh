@@ -187,6 +187,44 @@ struct StmConfig
      * boosting analogue of cm_wait_polls, always on because waiting is
      * the point of abstract locks. */
     unsigned boost_wait_polls = 64;
+
+    /**
+     * @{ Online-adaptation knobs (docs/adaptive.md). All default-off:
+     * with every knob at its default the charge sequence is bitwise
+     * identical to a build without the adaptation subsystem (CI-gated).
+     */
+    /** Cycles per poll while parked by the dynamic tasklet throttle
+     * (Stm::setTaskletLimit). */
+    Cycles park_poll_cycles = 512;
+
+    /**
+     * Count lock-table accesses per entry into a host-side heat vector
+     * (Stm::lockHeat), the signal behind the controller's hot-metadata
+     * migration policy. Host-only; implied by hot_lock_capacity.
+     */
+    bool lock_heat = false;
+
+    /**
+     * Capacity, in entries, of the WRAM hot-lock cache used by the
+     * hot-metadata migration knob. 0 disables migration and keeps
+     * lock-table charging bitwise unchanged. When non-zero and the
+     * lock table resolves to MRAM, a WRAM region of capacity × entry
+     * bytes is reserved at construction; the knob is inert when the
+     * table already lives in WRAM or the region does not fit.
+     */
+    u32 hot_lock_capacity = 0;
+
+    /**
+     * Layout is owned externally: an enclosing SwitchableStm has
+     * already reserved the maximum metadata footprint across its
+     * candidates, so this instance computes its lock-table geometry
+     * (indexing must agree with the router's) but reserves no
+     * simulated memory. The resolved table tier is taken from
+     * external_table_tier instead of re-running spill resolution.
+     */
+    bool external_layout = false;
+    Tier external_table_tier = Tier::Mram;
+    /** @} */
 };
 
 /** Thrown (internally) to unwind an aborted transaction to its retry
@@ -321,11 +359,18 @@ class Stm
     /** Descriptor of @p tasklet (also reachable via ctx.taskletId()). */
     TxDescriptor &descriptor(unsigned tasklet);
 
-    /** @{ Transaction demarcation; normally used via atomically(). */
-    void txStart(DpuContext &ctx, TxDescriptor &tx);
-    u32 txRead(DpuContext &ctx, TxDescriptor &tx, Addr a);
-    void txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v);
-    void txCommit(DpuContext &ctx, TxDescriptor &tx);
+    /**
+     * @{ Transaction demarcation; normally used via atomically().
+     * Virtual so SwitchableStm can route whole transactions to its
+     * current inner implementation; the base bodies carry all the
+     * cross-algorithm bookkeeping (stats, faults, serial-irrevocable
+     * escalation, boosting unwind, tracing, backoff).
+     */
+    virtual void txStart(DpuContext &ctx, TxDescriptor &tx);
+    virtual u32 txRead(DpuContext &ctx, TxDescriptor &tx, Addr a);
+    virtual void txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a,
+                         u32 v);
+    virtual void txCommit(DpuContext &ctx, TxDescriptor &tx);
     /**
      * Abort the transaction. @p conflict_lock names the lock-table
      * index the conflict was detected on (kNoLockIndex when there is
@@ -334,15 +379,67 @@ class Stm
      * address when known. Both feed the trace layer's abort
      * attribution and cost nothing when tracing is off.
      */
-    [[noreturn]] void txAbort(DpuContext &ctx, TxDescriptor &tx,
-                              AbortReason reason,
-                              u32 conflict_lock = kNoLockIndex,
-                              Addr conflict_addr = 0);
+    [[noreturn]] virtual void txAbort(DpuContext &ctx, TxDescriptor &tx,
+                                      AbortReason reason,
+                                      u32 conflict_lock = kNoLockIndex,
+                                      Addr conflict_addr = 0);
     /** @} */
 
     /** Aggregate statistics across all tasklets of this DPU. */
     const StmStats &stats() const { return stats_; }
     StmStats &stats() { return stats_; }
+
+    /** Statistics including any inner instances: SwitchableStm merges
+     * its candidates' counters here; plain instances return stats().
+     * Result-assembly code (the driver) must use this overload. */
+    virtual const StmStats &aggregateStats() const { return stats_; }
+
+    /** Transactions currently between txStart and commit/abort — the
+     * quiesce count the kind-switch protocol drains to zero. */
+    virtual unsigned activeTxCount() const { return active_txs_; }
+
+    /**
+     * @{ Online reconfiguration hooks (docs/adaptive.md). Host-side
+     * mutations of config knobs the hot paths already consult, applied
+     * by the epoch controller between scheduling points; SwitchableStm
+     * forwards them to every candidate so settings survive switches.
+     */
+    /** Replace the post-abort backoff parameters. base = 0 disables
+     * backoff entirely (no RNG draw per abort). */
+    virtual void setBackoffParams(Cycles base, unsigned max_shift);
+    /** Replace the wait-on-contention poll budget (0 = abort at once). */
+    virtual void setCmWaitPolls(unsigned polls);
+    /** Replace the per-poll contention wait. */
+    virtual void setCmWaitCycles(Cycles cycles);
+    /**
+     * Dynamic tasklet throttle: tasklets with id >= @p limit park at
+     * their next txStart (polling every park_poll_cycles) until the
+     * limit is raised. 0 = off. Parking happens at a scheduler-safe
+     * point — never inside a transaction — so no ownership records are
+     * held while parked.
+     */
+    virtual void setTaskletLimit(unsigned limit);
+    unsigned taskletLimit() const { return tasklet_limit_; }
+    /** @} */
+
+    /**
+     * @{ Hot-lock migration between MRAM and WRAM (docs/adaptive.md).
+     * The heat vector counts per-entry lock-table accesses (host-side,
+     * allocated only when StmConfig enables it — empty means off).
+     * migrateLocks records promotion/demotion intents host-side at an
+     * epoch boundary; the entry transfer is charged lazily through the
+     * simulated cost model on the first subsequent access, keeping the
+     * decision itself free and deterministic. Capacity enforcement is
+     * the caller's job. SwitchableStm forwards to all candidates.
+     */
+    virtual const std::vector<u32> &lockHeat() const { return lock_heat_; }
+    u32 hotLockCapacity() const { return hot_capacity_; }
+    virtual void migrateLocks(const std::vector<u32> &promote,
+                              const std::vector<u32> &demote);
+    /** Per-entry migration state for tests/diagnostics: 0 cold, 1 hot
+     * (WRAM-resident), 2 promote-pending, 3 demote-pending. */
+    const std::vector<u8> &hotState() const { return hot_state_; }
+    /** @} */
 
     /** Effective tier of the ORec lock table (may have spilled). */
     Tier lockTableTier() const { return lock_table_tier_; }
@@ -386,9 +483,15 @@ class Stm
     /** @{ Metadata cost charging at the configured placement. */
     void metaRead(DpuContext &ctx, size_t bytes);
     void metaWrite(DpuContext &ctx, size_t bytes);
-    /** Lock-table access cost (may differ from metaRead after spill). */
-    void lockTableRead(DpuContext &ctx, size_t bytes);
-    void lockTableWrite(DpuContext &ctx, size_t bytes);
+    /**
+     * Lock-table access cost for entry @p index (may differ from
+     * metaRead after spill). Index-aware so the adaptation layer can
+     * maintain per-entry heat and charge hot entries at WRAM cost after
+     * migration; with heat and migration off (the default) this is the
+     * plain tier charge plus two never-taken compares.
+     */
+    void lockTableRead(DpuContext &ctx, u32 index, size_t bytes);
+    void lockTableWrite(DpuContext &ctx, u32 index, size_t bytes);
     /** @} */
 
     /** Map a data address to a lock-table index. Like TinySTM's
@@ -430,6 +533,11 @@ class Stm
     void
     traceLockWait(DpuContext &ctx, u32 index, Cycles cycles)
     {
+        // Host-side contention tally for the epoch controller — the
+        // wait itself is charged by the caller; counting it here never
+        // changes the charge sequence.
+        ++stats_.lock_waits;
+        stats_.lock_wait_cycles += cycles;
         if (cfg_.trace) {
             cfg_.trace->record(ctx.now(), ctx.taskletId(),
                                TxEvent::LockWait, index, cycles);
@@ -461,11 +569,38 @@ class Stm
 
     void reserveMetadata();
 
+    /** Lock-table size implied by the config (hint, override, clamps). */
+    u32 computedLockTableEntries() const;
+
+    /** Allocate the heat / hot-state vectors per the resolved layout. */
+    void initLockAdaptState();
+
+    /** @{ Hot-lock migration state (docs/adaptive.md). kHot entries
+     * charge WRAM cost; pending entries pay the tier transfer on their
+     * first access after the epoch decision (settleMigration). */
+    static constexpr u8 kCold = 0;
+    static constexpr u8 kHot = 1;
+    static constexpr u8 kPromotePending = 2;
+    static constexpr u8 kDemotePending = 3;
+
+    void settleMigration(DpuContext &ctx, u32 index);
+    /** @} */
+
     Tier lock_table_tier_ = Tier::Mram;
     u32 lock_table_entries_ = 0;
     size_t meta_bytes_wram_ = 0;
     size_t meta_bytes_mram_ = 0;
     bool layout_done_ = false;
+
+    /** Dynamic tasklet throttle (0 = off; see setTaskletLimit). */
+    unsigned tasklet_limit_ = 0;
+
+    /** Per-entry access counts (empty = heat tracking off). */
+    std::vector<u32> lock_heat_;
+    /** Per-entry migration state (empty = migration off). */
+    std::vector<u8> hot_state_;
+    /** Resolved WRAM hot-cache capacity in entries (0 = off). */
+    u32 hot_capacity_ = 0;
 
     /** Atomic-register key of the serial-irrevocable global token. */
     static constexpr u32 kSerialTokenKey = 0x5e71a1bcu;

@@ -1,0 +1,318 @@
+#include "core/switchable.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/stm_factory.hh"
+#include "util/logging.hh"
+
+namespace pimstm::core
+{
+
+namespace
+{
+
+// Per-kind descriptor / lock-table entry sizes, mirroring the concrete
+// classes' overrides (norec.hh / tiny.hh / vr.hh). Static so the router
+// can size the shared worst-case reservation before any inner exists.
+size_t
+readEntryBytesFor(StmKind k)
+{
+    switch (k) {
+      case StmKind::NOrec: return 8;
+      case StmKind::VrEtlWb:
+      case StmKind::VrEtlWt:
+      case StmKind::VrCtlWb: return 8;
+      default: return 16; // Tiny family + TL2
+    }
+}
+
+size_t
+writeEntryBytesFor(StmKind k)
+{
+    switch (k) {
+      case StmKind::NOrec: return 8;
+      case StmKind::VrEtlWb:
+      case StmKind::VrEtlWt:
+      case StmKind::VrCtlWb: return 16;
+      default: return 24;
+    }
+}
+
+size_t
+lockEntryBytesFor(StmKind k)
+{
+    switch (k) {
+      case StmKind::NOrec: return 0;
+      case StmKind::VrEtlWb:
+      case StmKind::VrEtlWt:
+      case StmKind::VrCtlWb: return 4;
+      default: return 8;
+    }
+}
+
+} // namespace
+
+SwitchableStm::SwitchableStm(sim::Dpu &dpu, const StmConfig &cfg,
+                             const std::vector<StmKind> &candidates)
+    : Stm(dpu, cfg)
+{
+    // The serial-irrevocable escalation quiesces inside the inner's
+    // start path; a tasklet waiting there would straddle a kind
+    // switch (same hazard as the throttle gate, which the router
+    // therefore keeps to itself — see setTaskletLimit).
+    fatalIf(cfg.serial_fallback_after != 0,
+            "live kind switching is incompatible with the "
+            "serial-irrevocable fallback");
+    kinds_.push_back(cfg.kind);
+    for (StmKind k : candidates) {
+        if (std::find(kinds_.begin(), kinds_.end(), k) == kinds_.end())
+            kinds_.push_back(k);
+    }
+    for (StmKind k : kinds_) {
+        max_read_entry_ = std::max(max_read_entry_, readEntryBytesFor(k));
+        max_write_entry_ =
+            std::max(max_write_entry_, writeEntryBytesFor(k));
+        max_lock_entry_ = std::max(max_lock_entry_, lockEntryBytesFor(k));
+    }
+    // Reserves descriptors + lock table + hot cache at the maxima above
+    // (virtual dispatch lands on this class's overrides).
+    finalizeLayout();
+
+    // Construct every candidate against the shared reservation. The
+    // inners compute identical lock-table geometry (entry count depends
+    // only on the data hint) but reserve no simulated memory.
+    StmConfig inner_cfg = cfg;
+    inner_cfg.external_layout = true;
+    inner_cfg.external_table_tier = lockTableTier();
+    inner_cfg.hot_lock_capacity = hotLockCapacity();
+    for (StmKind k : kinds_) {
+        inner_cfg.kind = k;
+        inners_.push_back(makeStm(dpu, inner_cfg));
+    }
+    current_ = 0;
+    cfg_.kind = kinds_[current_];
+}
+
+bool
+SwitchableStm::requestKindSwitch(StmKind k)
+{
+    for (size_t i = 0; i < kinds_.size(); ++i) {
+        if (kinds_[i] != k)
+            continue;
+        if (i == current_)
+            return false;
+        pending_ = static_cast<int>(i);
+        return true;
+    }
+    return false;
+}
+
+void
+SwitchableStm::performSwitch(DpuContext &ctx)
+{
+    const size_t from = current_;
+    const size_t to = static_cast<size_t>(pending_);
+    pending_ = -1;
+    // The inner is drained, so every ownership record must have been
+    // released by the final commit/abort — a leak here would corrupt
+    // the next kind's view of the (shared) data words.
+    panicIf(inners_[from]->heldOwnershipCount() != 0,
+            "kind switch with ownership records still held by ",
+            inners_[from]->name());
+    current_ = to;
+    cfg_.kind = kinds_[to];
+    ++stats_.kind_switches;
+    // Metadata translation: stream the old kind's lock table out and
+    // initialize the new kind's — both at the resolved table tier.
+    const size_t old_bytes =
+        static_cast<size_t>(inners_[from]->lockTableEntries()) *
+        lockEntryBytesFor(kinds_[from]);
+    const size_t new_bytes =
+        static_cast<size_t>(inners_[to]->lockTableEntries()) *
+        lockEntryBytesFor(kinds_[to]);
+    if (old_bytes != 0)
+        ctx.touchRead(lockTableTier(), old_bytes);
+    if (new_bytes != 0)
+        ctx.touchWrite(lockTableTier(), new_bytes);
+}
+
+void
+SwitchableStm::txStart(DpuContext &ctx, TxDescriptor &tx)
+{
+    // Dynamic throttle at the router level (setTaskletLimit is not
+    // forwarded to the inners): a parked tasklet must not sit inside
+    // an inner's start path across a kind switch.
+    while (taskletLimit() != 0 && tx.tasklet() >= taskletLimit()) {
+        ++stats_.park_polls;
+        ctx.delay(cfg_.park_poll_cycles);
+    }
+    if (pending_ >= 0) {
+        // Quiesce: park until the in-flight transactions of the current
+        // inner drain (each finishes in bounded simulated time). The
+        // first tasklet to observe the drain performs the switch; the
+        // pending_ flip is host-side with no scheduling point between
+        // the check and the swap, so exactly one tasklet switches.
+        while (pending_ >= 0 && inners_[current_]->activeTxCount() != 0)
+            ctx.delay(cfg_.serial_wait_cycles);
+        if (pending_ >= 0)
+            performSwitch(ctx);
+    }
+    inners_[current_]->txStart(ctx, tx);
+}
+
+u32
+SwitchableStm::txRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
+{
+    return inners_[current_]->txRead(ctx, tx, a);
+}
+
+void
+SwitchableStm::txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v)
+{
+    inners_[current_]->txWrite(ctx, tx, a, v);
+}
+
+void
+SwitchableStm::txCommit(DpuContext &ctx, TxDescriptor &tx)
+{
+    inners_[current_]->txCommit(ctx, tx);
+}
+
+void
+SwitchableStm::txAbort(DpuContext &ctx, TxDescriptor &tx,
+                       AbortReason reason, u32 conflict_lock,
+                       Addr conflict_addr)
+{
+    inners_[current_]->txAbort(ctx, tx, reason, conflict_lock,
+                               conflict_addr);
+    __builtin_unreachable(); // txAbort always throws
+}
+
+const StmStats &
+SwitchableStm::aggregateStats() const
+{
+    merged_ = stats_;
+    for (const auto &in : inners_)
+        merged_ += in->stats();
+    return merged_;
+}
+
+unsigned
+SwitchableStm::activeTxCount() const
+{
+    return inners_[current_]->activeTxCount();
+}
+
+void
+SwitchableStm::setBackoffParams(Cycles base, unsigned max_shift)
+{
+    Stm::setBackoffParams(base, max_shift);
+    for (auto &in : inners_)
+        in->setBackoffParams(base, max_shift);
+}
+
+void
+SwitchableStm::setCmWaitPolls(unsigned polls)
+{
+    Stm::setCmWaitPolls(polls);
+    for (auto &in : inners_)
+        in->setCmWaitPolls(polls);
+}
+
+void
+SwitchableStm::setCmWaitCycles(Cycles cycles)
+{
+    Stm::setCmWaitCycles(cycles);
+    for (auto &in : inners_)
+        in->setCmWaitCycles(cycles);
+}
+
+void
+SwitchableStm::setTaskletLimit(unsigned limit)
+{
+    // Router-level only, deliberately NOT forwarded: a tasklet parked
+    // inside an inner's txStart gate would straddle a kind switch —
+    // it would finish starting on the old inner while its reads and
+    // commit route through the new one, corrupting both inners'
+    // active-transaction counts. Parking in SwitchableStm::txStart,
+    // before any inner is entered, keeps the quiesce sound.
+    Stm::setTaskletLimit(limit);
+}
+
+const std::vector<u32> &
+SwitchableStm::lockHeat() const
+{
+    heat_merged_.clear();
+    for (const auto &in : inners_) {
+        const auto &h = in->lockHeat();
+        if (h.size() > heat_merged_.size())
+            heat_merged_.resize(h.size(), 0);
+        for (size_t i = 0; i < h.size(); ++i)
+            heat_merged_[i] += h[i];
+    }
+    return heat_merged_;
+}
+
+void
+SwitchableStm::migrateLocks(const std::vector<u32> &promote,
+                            const std::vector<u32> &demote)
+{
+    for (auto &in : inners_)
+        in->migrateLocks(promote, demote);
+}
+
+unsigned
+SwitchableStm::heldOwnershipCount() const
+{
+    unsigned n = 0;
+    for (const auto &in : inners_)
+        n += in->heldOwnershipCount();
+    return n;
+}
+
+void
+SwitchableStm::dumpOwnership(std::ostream &os) const
+{
+    for (const auto &in : inners_)
+        in->dumpOwnership(os);
+}
+
+void
+SwitchableStm::doStart(DpuContext &, TxDescriptor &)
+{
+    panic("SwitchableStm::doStart is unreachable");
+}
+
+u32
+SwitchableStm::doRead(DpuContext &, TxDescriptor &, Addr)
+{
+    panic("SwitchableStm::doRead is unreachable");
+}
+
+void
+SwitchableStm::doWrite(DpuContext &, TxDescriptor &, Addr, u32)
+{
+    panic("SwitchableStm::doWrite is unreachable");
+}
+
+void
+SwitchableStm::doCommit(DpuContext &, TxDescriptor &)
+{
+    panic("SwitchableStm::doCommit is unreachable");
+}
+
+void
+SwitchableStm::doAbortCleanup(DpuContext &, TxDescriptor &)
+{
+    panic("SwitchableStm::doAbortCleanup is unreachable");
+}
+
+std::unique_ptr<Stm>
+makeSwitchableStm(sim::Dpu &dpu, const StmConfig &cfg,
+                  const std::vector<StmKind> &candidates)
+{
+    return std::make_unique<SwitchableStm>(dpu, cfg, candidates);
+}
+
+} // namespace pimstm::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SwitchableStm: a router that owns one instance of each candidate STM
+ * kind and forwards whole transactions to the current one, so the epoch
+ * adaptation controller (docs/adaptive.md) can change the STM algorithm
+ * mid-run. Switches happen only at quiesce points — a pending request
+ * parks new transactions in txStart until the in-flight count drains,
+ * exactly the protocol the serial-irrevocable fallback uses.
+ *
+ * All candidates are constructed up front with the maximum metadata
+ * footprint reserved once (the simulated bump allocator cannot free),
+ * using StmConfig::external_layout so the inners compute their lock
+ * geometry without re-reserving. Descriptors are owned by the router
+ * and passed through by reference, so atomically()'s once-captured
+ * descriptor and the retry counter survive a switch.
+ */
+
+#ifndef PIMSTM_CORE_SWITCHABLE_HH
+#define PIMSTM_CORE_SWITCHABLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/stm.hh"
+
+namespace pimstm::core
+{
+
+class SwitchableStm : public Stm
+{
+  public:
+    /**
+     * @p cfg.kind selects the initially active kind; it is added to the
+     * front of @p candidates if absent. Throws FatalError when the
+     * maximum footprint across candidates does not fit the tier.
+     */
+    SwitchableStm(sim::Dpu &dpu, const StmConfig &cfg,
+                  const std::vector<StmKind> &candidates);
+
+    const char *name() const override { return "Switchable"; }
+
+    /** Candidate kinds, construction order (== switch indices). */
+    const std::vector<StmKind> &candidates() const { return kinds_; }
+
+    /** Kind transactions are currently routed to. */
+    StmKind currentKind() const { return kinds_[current_]; }
+
+    /** A requested switch not yet performed (quiesce pending). */
+    bool switchPending() const { return pending_ >= 0; }
+
+    /**
+     * Request a live switch to candidate @p k. Returns false (no-op)
+     * when @p k is not a candidate or already current. The switch is
+     * performed by the next transaction to observe a drained inner —
+     * host-side state flip plus a streamed translation charge of both
+     * lock tables through the transfer cost model.
+     */
+    bool requestKindSwitch(StmKind k);
+
+    /** @{ Transaction wrappers: route to the current inner. */
+    void txStart(DpuContext &ctx, TxDescriptor &tx) override;
+    u32 txRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;
+    void txWrite(DpuContext &ctx, TxDescriptor &tx, Addr a,
+                 u32 v) override;
+    void txCommit(DpuContext &ctx, TxDescriptor &tx) override;
+    [[noreturn]] void txAbort(DpuContext &ctx, TxDescriptor &tx,
+                              AbortReason reason,
+                              u32 conflict_lock = kNoLockIndex,
+                              Addr conflict_addr = 0) override;
+    /** @} */
+
+    const StmStats &aggregateStats() const override;
+    unsigned activeTxCount() const override;
+
+    /** @{ Reconfiguration: applied to every candidate so settings
+     * survive switches (plus the base, for the accessors). */
+    void setBackoffParams(Cycles base, unsigned max_shift) override;
+    void setCmWaitPolls(unsigned polls) override;
+    void setCmWaitCycles(Cycles cycles) override;
+    void setTaskletLimit(unsigned limit) override;
+    /** @} */
+
+    const std::vector<u32> &lockHeat() const override;
+    void migrateLocks(const std::vector<u32> &promote,
+                      const std::vector<u32> &demote) override;
+
+    unsigned heldOwnershipCount() const override;
+    void dumpOwnership(std::ostream &os) const override;
+
+  protected:
+    /** Never reached: the public wrappers delegate before the base
+     * bodies (which call these) can run on the router itself. */
+    void doStart(DpuContext &ctx, TxDescriptor &tx) override;
+    u32 doRead(DpuContext &ctx, TxDescriptor &tx, Addr a) override;
+    void doWrite(DpuContext &ctx, TxDescriptor &tx, Addr a,
+                 u32 v) override;
+    void doCommit(DpuContext &ctx, TxDescriptor &tx) override;
+    void doAbortCleanup(DpuContext &ctx, TxDescriptor &tx) override;
+
+    /** Maxima across candidates — the router reserves the worst-case
+     * footprint so any inner fits the shared reservation. */
+    size_t readEntryBytes() const override { return max_read_entry_; }
+    size_t writeEntryBytes() const override { return max_write_entry_; }
+    size_t lockTableEntryBytes() const override { return max_lock_entry_; }
+
+  private:
+    void performSwitch(DpuContext &ctx);
+
+    std::vector<StmKind> kinds_;
+    std::vector<std::unique_ptr<Stm>> inners_;
+    size_t current_ = 0;
+    /** Candidate index of a requested switch, -1 when none. */
+    int pending_ = -1;
+
+    size_t max_read_entry_ = 0;
+    size_t max_write_entry_ = 0;
+    size_t max_lock_entry_ = 0;
+
+    /** Scratch for the merging accessors (logically const). */
+    mutable StmStats merged_;
+    mutable std::vector<u32> heat_merged_;
+};
+
+/**
+ * Factory: a SwitchableStm over @p candidates, initially running
+ * @p cfg.kind. With a single candidate equal to cfg.kind this behaves
+ * like makeStm() plus routing indirection.
+ */
+std::unique_ptr<Stm> makeSwitchableStm(
+    sim::Dpu &dpu, const StmConfig &cfg,
+    const std::vector<StmKind> &candidates);
+
+} // namespace pimstm::core
+
+#endif // PIMSTM_CORE_SWITCHABLE_HH

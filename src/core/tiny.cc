@@ -73,7 +73,7 @@ TinyStm::validate(DpuContext &ctx, TxDescriptor &tx)
     ++stats_.validations;
     traceValidate(ctx, tx.read_set.size());
     for (const auto &e : tx.read_set) {
-        lockTableRead(ctx, 8);
+        lockTableRead(ctx, e.lock_index, 8);
         const Orec &cur = table_[e.lock_index];
         if (cur.locked && cur.owner != tx.tasklet())
             txAbort(ctx, tx, AbortReason::ValidationFail, e.lock_index,
@@ -112,7 +112,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
     }
 
     const u32 index = lockIndexFor(a);
-    lockTableRead(ctx, 8);
+    lockTableRead(ctx, index, 8);
     Orec o = table_[index];
 
     // Optional wait-on-contention manager: poll a foreign lock a
@@ -123,7 +123,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
          ++poll) {
         traceLockWait(ctx, index, cfg_.cm_wait_cycles);
         ctx.delay(cfg_.cm_wait_cycles);
-        lockTableRead(ctx, 8);
+        lockTableRead(ctx, index, 8);
         o = table_[index];
     }
 
@@ -145,7 +145,7 @@ TinyStm::doRead(DpuContext &ctx, TxDescriptor &tx, Addr a)
 
     // Invisible read: data read sandwiched between two ORec reads.
     const u32 v = ctx.read32(a);
-    lockTableRead(ctx, 8);
+    lockTableRead(ctx, index, 8);
     const Orec &recheck = table_[index];
     if (recheck.locked || recheck.version != o.version)
         txAbort(ctx, tx, AbortReason::ReadConflict, index, a);
@@ -174,7 +174,7 @@ TinyStm::acquireOrec(DpuContext &ctx, TxDescriptor &tx, u32 index)
     unsigned poll = 0;
 retry:
     ctx.acquire(index);
-    lockTableRead(ctx, 8);
+    lockTableRead(ctx, index, 8);
     Orec &o = table_[index];
     if (o.locked) {
         const bool mine = o.owner == tx.tasklet();
@@ -193,7 +193,7 @@ retry:
         ctx.release(index);
         extend(ctx, tx); // aborts on failure
         ctx.acquire(index);
-        lockTableRead(ctx, 8);
+        lockTableRead(ctx, index, 8);
         if (table_[index].locked || table_[index].version > tx.upper) {
             ctx.release(index);
             return false;
@@ -201,7 +201,7 @@ retry:
     }
     o.locked = true;
     o.owner = static_cast<u8>(tx.tasklet());
-    lockTableWrite(ctx, 8);
+    lockTableWrite(ctx, index, 8);
     ctx.release(index);
     tx.locks.push_back({index, true});
     traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
@@ -286,7 +286,7 @@ TinyStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
         Orec &o = table_[l.index];
         o.locked = false;
         o.version = wc;
-        lockTableWrite(ctx, 8);
+        lockTableWrite(ctx, l.index, 8);
     }
 }
 
@@ -307,7 +307,7 @@ TinyStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
         panicIf(!o.locked || o.owner != tx.tasklet(),
                 "abort cleanup releasing an ORec we do not hold");
         o.locked = false;
-        lockTableWrite(ctx, 8);
+        lockTableWrite(ctx, l.index, 8);
     }
     tx.locks.clear();
 }

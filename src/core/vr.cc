@@ -52,7 +52,7 @@ VrStm::readLock(DpuContext &ctx, TxDescriptor &tx, u32 index, Addr a)
     unsigned poll = 0;
 retry:
     ctx.acquire(index);
-    lockTableRead(ctx, 4);
+    lockTableRead(ctx, index, 4);
     const u32 w = table_[index];
 
     if (rwlock::isWrite(w)) {
@@ -75,7 +75,7 @@ retry:
         return; // already visible — the reader bitmap spares re-locking
     }
     table_[index] = rwlock::addReader(w, me);
-    lockTableWrite(ctx, 4);
+    lockTableWrite(ctx, index, 4);
     ctx.release(index);
     tx.locks.push_back({index, false});
     traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
@@ -89,7 +89,7 @@ VrStm::writeLock(DpuContext &ctx, TxDescriptor &tx, u32 index,
     unsigned poll = 0;
 retry:
     ctx.acquire(index);
-    lockTableRead(ctx, 4);
+    lockTableRead(ctx, index, 4);
     const u32 w = table_[index];
 
     if (rwlock::isWrite(w)) {
@@ -110,7 +110,7 @@ retry:
     }
     if (rwlock::isFree(w)) {
         table_[index] = rwlock::makeWrite(me);
-        lockTableWrite(ctx, 4);
+        lockTableWrite(ctx, index, 4);
         ctx.release(index);
         tx.locks.push_back({index, true});
         traceLockAcquire(ctx, index, poll * u64{cfg_.cm_wait_cycles});
@@ -121,7 +121,7 @@ retry:
     // VR's spurious aborts under contention).
     if (rwlock::soleReader(w, me)) {
         table_[index] = rwlock::makeWrite(me);
-        lockTableWrite(ctx, 4);
+        lockTableWrite(ctx, index, 4);
         ctx.release(index);
         for (auto &l : tx.locks) {
             if (l.index == index) {
@@ -146,7 +146,7 @@ VrStm::releaseAll(DpuContext &ctx, TxDescriptor &tx)
     const unsigned me = tx.tasklet();
     for (const auto &l : tx.locks) {
         ctx.acquire(l.index);
-        lockTableRead(ctx, 4);
+        lockTableRead(ctx, l.index, 4);
         const u32 w = table_[l.index];
         if (rwlock::isWrite(w)) {
             panicIf(rwlock::writeOwner(w) != me,
@@ -157,7 +157,7 @@ VrStm::releaseAll(DpuContext &ctx, TxDescriptor &tx)
                     "releasing a read lock we do not hold");
             table_[l.index] = rwlock::removeReader(w, me);
         }
-        lockTableWrite(ctx, 4);
+        lockTableWrite(ctx, l.index, 4);
         ctx.release(l.index);
     }
     tx.locks.clear();

@@ -1,5 +1,7 @@
 #include "runtime/driver.hh"
 
+#include "core/switchable.hh"
+#include "runtime/adaptive.hh"
 #include "runtime/dpu_pool.hh"
 #include "util/host_alloc.hh"
 #include "util/logging.hh"
@@ -44,6 +46,13 @@ runWorkload(Workload &workload, const RunSpec &spec)
     if (spec.cm_wait_polls_override >= 0)
         stm_cfg.cm_wait_polls =
             static_cast<unsigned>(spec.cm_wait_polls_override);
+    if (spec.cm_wait_cycles_override)
+        stm_cfg.cm_wait_cycles = spec.cm_wait_cycles_override;
+    if (spec.abort_backoff_base_override)
+        stm_cfg.abort_backoff_base = spec.abort_backoff_base_override;
+    if (spec.abort_backoff_max_shift_override >= 0)
+        stm_cfg.abort_backoff_max_shift =
+            static_cast<unsigned>(spec.abort_backoff_max_shift_override);
     if (spec.serial_fallback_override)
         stm_cfg.serial_fallback_after = spec.serial_fallback_override;
     if (spec.boosting)
@@ -60,9 +69,23 @@ runWorkload(Workload &workload, const RunSpec &spec)
         dpu.setTraceSink(trace_buf.get());
     }
 
+    // Online adaptation (docs/adaptive.md): kind switching needs the
+    // SwitchableStm router; hot-lock migration needs a heat vector and
+    // a WRAM cache. Both change simulated layout/charging, so they are
+    // gated on the controller actually being enabled — controller-off
+    // stays on the plain makeStm path, bitwise identical (CI-gated).
+    const bool adaptive_on = spec.adaptive.enabled;
+    const bool switchable = adaptive_on && spec.adaptive.tune_kind &&
+        !spec.adaptive.kind_candidates.empty();
+    if (adaptive_on && spec.adaptive.tune_migration)
+        stm_cfg.hot_lock_capacity = spec.adaptive.hot_lock_capacity;
+
     // May throw FatalError when the placement is infeasible — that is
     // the paper's "cannot run with WRAM metadata" case.
-    auto stm = core::makeStm(dpu, stm_cfg);
+    auto stm = switchable
+        ? core::makeSwitchableStm(dpu, stm_cfg,
+                                  spec.adaptive.kind_candidates)
+        : core::makeStm(dpu, stm_cfg);
 
     workload.setup(dpu, *stm);
 
@@ -72,11 +95,23 @@ runWorkload(Workload &workload, const RunSpec &spec)
         wl->tasklet(ctx, *stm_ptr);
     });
 
+    std::unique_ptr<AdaptiveController> controller;
+    if (adaptive_on) {
+        controller =
+            std::make_unique<AdaptiveController>(*stm, dpu, spec.adaptive);
+        dpu.setEpochHook(spec.adaptive.epoch_cycles,
+                         [&controller] { controller->onEpoch(); });
+    }
+
     dpu.run();
+    if (adaptive_on)
+        dpu.setEpochHook(0, nullptr); // borrowed, like the trace sink
     workload.verify(dpu, *stm);
 
     RunResult r;
-    r.stm = stm->stats();
+    r.stm = stm->aggregateStats();
+    if (controller)
+        r.adaptive = controller->report();
     r.dpu = dpu.stats();
     r.seconds = spec.timing.cyclesToSeconds(dpu.stats().total_cycles);
     r.throughput =

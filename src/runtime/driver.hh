@@ -58,6 +58,68 @@ class Workload
     }
 };
 
+/**
+ * Online-adaptation configuration (docs/adaptive.md): an epoch
+ * feedback controller samples per-epoch stat deltas and actuates the
+ * backoff/contention-manager knobs, a dynamic tasklet throttle,
+ * hot-lock WRAM migration, and live STM-kind switching. Disabled by
+ * default; with enabled = false the run is bitwise identical to a
+ * build without the subsystem (CI-gated).
+ */
+struct AdaptiveSpec
+{
+    bool enabled = false;
+
+    /** Controller sampling period in simulated cycles. */
+    Cycles epoch_cycles = 100000;
+
+    /** @{ Per-knob enables (all on once enabled, for ablations). */
+    bool tune_backoff = true;
+    bool tune_throttle = true;
+    bool tune_migration = true;
+    bool tune_kind = true;
+    /** @} */
+
+    /** Kind-switch candidates (empty = no kind switching even when
+     * tune_kind; RunSpec::kind is always implicitly a candidate). */
+    std::vector<core::StmKind> kind_candidates;
+
+    /** Consecutive epochs a signal must persist before acting
+     * (hysteresis against flapping). */
+    unsigned hysteresis_epochs = 2;
+
+    /** @{ Tasklet-throttle thresholds on the share of tasklet cycles
+     * wasted on backoff + lock waits (EpochSample::wasteShare); park
+     * above high, unpark below low. */
+    double throttle_high = 0.5;
+    double throttle_low = 0.1;
+    unsigned min_tasklets = 2;
+    /** @} */
+
+    /** Wait-on-contention poll budget the backoff policy enables when
+     * conflict aborts dominate. */
+    unsigned cm_polls = 3;
+    /** Ceiling for the doubling backoff base. */
+    Cycles backoff_base_max = 256;
+
+    /** @{ Kind policy: explore-then-commit with EWMA scores. A switch
+     * needs a candidate this much better (relative); after a switch
+     * the policy holds for cooldown epochs; a current-kind score
+     * collapse below reexplore_ratio x its best restarts exploration. */
+    double kind_switch_margin = 0.10;
+    unsigned kind_cooldown_epochs = 4;
+    double reexplore_ratio = 0.5;
+    /** @} */
+
+    /** @{ Hot-lock migration: WRAM cache capacity (entries) and the
+     * minimum per-epoch heat that qualifies an entry for promotion. */
+    u32 hot_lock_capacity = 16;
+    u32 min_heat = 32;
+    /** @} */
+};
+
+struct AdaptiveReport; // defined in runtime/adaptive.hh
+
 /** One run configuration. */
 struct RunSpec
 {
@@ -90,6 +152,12 @@ struct RunSpec
     unsigned atomic_bits_override = 0;  // 0 keep hardware 256
     /** Wait-on-contention polls (-1 keep workload/default). */
     int cm_wait_polls_override = -1;
+    /** Per-poll contention wait (0 = keep workload/default). */
+    Cycles cm_wait_cycles_override = 0;
+    /** Post-abort backoff base (0 = keep workload/default). */
+    Cycles abort_backoff_base_override = 0;
+    /** Backoff max shift (-1 = keep workload/default). */
+    int abort_backoff_max_shift_override = -1;
     /** Serial-irrevocable fallback threshold (0 = keep workload/default,
      * i.e. off — StmConfig::serial_fallback_after). */
     unsigned serial_fallback_override = 0;
@@ -107,6 +175,9 @@ struct RunSpec
     /** Ring capacity (records) of the per-run trace buffer; aggregates
      * (heatmap, histograms) are unaffected by drops. */
     size_t trace_buffer_capacity = 4096;
+
+    /** Online-adaptation controller (docs/adaptive.md). */
+    AdaptiveSpec adaptive;
 };
 
 /** Result of one run. */
@@ -134,6 +205,10 @@ struct RunResult
     /** The run's trace buffer (null unless RunSpec::trace). Shared so
      * callers can keep it after the RunResult is copied around. */
     std::shared_ptr<core::TraceBuffer> trace;
+
+    /** Epoch-controller decision log (null unless the adaptive
+     * controller ran; runtime/adaptive.hh). */
+    std::shared_ptr<AdaptiveReport> adaptive;
 };
 
 /**

@@ -306,6 +306,8 @@ Dpu::recycle(const DpuConfig &cfg, const TimingConfig &timing)
     mram_.recycle(cfg.mram_bytes);
     atomic_reg_.recycle(cfg.atomic_bits);
     trace_sink_ = nullptr; // borrowed; the previous owner is gone
+    epoch_period_ = 0;     // the epoch hook is borrowed state too
+    epoch_hook_ = nullptr;
     always_switch_ = resolveAlwaysSwitch(cfg);
     ready_heap_.reserve(cfg.max_tasklets);
     fault_injector_.reset();
@@ -385,7 +387,31 @@ Dpu::resetRun(bool reset_faults)
     if (fault_injector_ && reset_faults)
         fault_injector_->reset();
     watchdog_deadline_ = ~Cycles{0};
+    epoch_next_ = ~Cycles{0};
     tasklet_faults_.clear();
+}
+
+void
+Dpu::setEpochHook(Cycles period, std::function<void()> hook)
+{
+    epoch_period_ = period;
+    epoch_hook_ = std::move(hook);
+    if (in_run_ && epoch_period_ != 0 && epoch_hook_)
+        epoch_next_ = now_ + epoch_period_;
+    else
+        epoch_next_ = ~Cycles{0};
+}
+
+void
+Dpu::fireEpoch()
+{
+    // Catch up past a long stall in one go: the controller samples
+    // deltas, so collapsing missed boundaries into one firing is the
+    // honest reading (no activity happened in between).
+    do {
+        epoch_next_ += epoch_period_;
+    } while (now_ >= epoch_next_);
+    epoch_hook_();
 }
 
 Cycles
@@ -421,6 +447,11 @@ Dpu::consume(unsigned tid, Cycles cycles, Phase)
     // tasklet running without ever returning to the scheduler.
     if (now_ >= watchdog_deadline_)
         watchdogFire(WatchdogError::Kind::Livelock);
+    // Epoch tick, same placement rationale as the watchdog. Fires
+    // before this charge is applied, so the hook observes the clock at
+    // the boundary-crossing instant.
+    if (now_ >= epoch_next_)
+        fireEpoch();
     auto &t = tasklets_[tid];
     t.ready_at = now_ + cycles;
     // Fiber-switch elision: when this tasklet would be the scheduler's
@@ -603,6 +634,8 @@ Dpu::run()
     in_run_ = true;
     if (watchdog_cycles_ != 0)
         watchdog_deadline_ = now_ + watchdog_cycles_;
+    if (epoch_period_ != 0 && epoch_hook_)
+        epoch_next_ = now_ + epoch_period_;
     scheduleLoop();
     in_run_ = false;
     stats_.total_cycles = now_;

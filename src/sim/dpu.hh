@@ -326,6 +326,21 @@ class Dpu
     }
 
     /**
+     * @{ Epoch hook: a host-side callback fired the first time a timing
+     * charge moves the clock past each period boundary — the sampling
+     * tick of the adaptation controller (docs/adaptive.md). The hook
+     * runs on the charging tasklet's fiber stack, charges no simulated
+     * cycles, and must not touch simulated memory; like the watchdog,
+     * the disarmed check is a single never-taken compare in consume().
+     * The hook is borrowed state: recycle() clears it, and passing
+     * period 0 (or an empty hook) disarms. Calling mid-run re-arms
+     * relative to the current cycle.
+     */
+    void setEpochHook(Cycles period, std::function<void()> hook);
+    Cycles epochPeriod() const { return epoch_period_; }
+    /** @} */
+
+    /**
      * @{ Diagnostic providers for the watchdog dump. An STM instance
      * registers a callback describing its held ownership records and
      * abort histogram; @p key (the instance address) unregisters it.
@@ -424,6 +439,9 @@ class Dpu
     /** Fail the run with a WatchdogError carrying the progress dump. */
     [[noreturn]] void watchdogFire(WatchdogError::Kind kind);
 
+    /** Advance epoch_next_ past now_ and invoke the epoch hook. */
+    void fireEpoch();
+
     void scheduleLoop();
 
     DpuConfig cfg_;
@@ -460,6 +478,11 @@ class Dpu
     SchedTraceSink *trace_sink_ = nullptr;
     Cycles watchdog_cycles_ = 0;
     Cycles watchdog_deadline_ = ~Cycles{0};
+    // Epoch hook (disarmed: next = UINT64_MAX, same trick as the
+    // watchdog so the off cost is one never-taken compare).
+    Cycles epoch_period_ = 0;
+    Cycles epoch_next_ = ~Cycles{0};
+    std::function<void()> epoch_hook_;
     std::vector<TaskletFault> tasklet_faults_;
     std::vector<std::pair<const void *, std::function<void(std::ostream &)>>>
         diagnostics_;
