@@ -25,6 +25,12 @@
  *   --serial-fallback=K  escalate a transaction to serial-irrevocable
  *                  mode after K consecutive aborts (0 = off, the
  *                  paper's behaviour)
+ *   --durable=on|off  durable transactions (docs/durability.md):
+ *                  commits are persistently logged at the MRAM persist
+ *                  boundary and whole-DPU crashes (`dpu-crash=` fault
+ *                  plans) are recovered and the run restarted; off
+ *                  (default) is bitwise identical to builds without
+ *                  the subsystem
  *   --trace        record per-run transaction/scheduler traces and
  *                  export the aggregate `trace` block in --perf-json;
  *                  host-only, simulated output is bitwise unchanged
@@ -222,6 +228,19 @@ class PerfReporter
                 << ", \"semantic_undos\": " << bst.semantic_undos
                 << ", \"false_conflicts_avoided\": "
                 << bst.false_conflicts_avoided << "},\n";
+        }
+        const auto dur = core::durableTotals();
+        if (dur.flush_fences != 0 || dur.recoveries != 0 ||
+            dur.log_appends != 0) {
+            out << "  \"durable\": {\"log_bytes\": " << dur.log_bytes
+                << ", \"log_appends\": " << dur.log_appends
+                << ", \"flush_fences\": " << dur.flush_fences
+                << ", \"durable_commits\": " << dur.durable_commits
+                << ", \"recoveries\": " << dur.recoveries
+                << ", \"log_redone\": " << dur.log_redone
+                << ", \"log_undone\": " << dur.log_undone
+                << ", \"log_discarded\": " << dur.log_discarded
+                << ", \"torn_logs\": " << dur.torn_logs << "},\n";
         }
         for (const auto &[name, json] : extra_blocks_)
             out << "  \"" << escape(name) << "\": " << json << ",\n";
@@ -553,6 +572,10 @@ struct BenchOptions
     /** Route structure operations through the boosted library
      * (--boosting=on|off; RunSpec::boosting, docs/boosting.md). */
     bool boosting = false;
+    /** Durable transactions (--durable=on|off; RunSpec::durable,
+     * docs/durability.md): persistently logged commits plus the
+     * driver's whole-DPU crash-restart loop. */
+    bool durable = false;
     /** Record traces (--trace, or implied by --trace-out=). */
     bool trace = false;
     /** Perfetto trace output file from --trace-out= (empty = none). */
@@ -624,6 +647,15 @@ struct BenchOptions
                     o.boosting = false;
                 else
                     usageError(argv[0], a, "expected on or off");
+            } else if (a.rfind("--durable=", 0) == 0) {
+                const std::string v =
+                    a.substr(std::strlen("--durable="));
+                if (v == "on")
+                    o.durable = true;
+                else if (v == "off")
+                    o.durable = false;
+                else
+                    usageError(argv[0], a, "expected on or off");
             } else if (a == "--trace") {
                 o.trace = true;
             } else if (a.rfind("--trace-out=", 0) == 0) {
@@ -664,6 +696,8 @@ struct BenchOptions
         spec.faults = faults;
         if (boosting)
             spec.boosting = true;
+        if (durable)
+            spec.durable = true;
         if (watchdog_cycles != 0)
             spec.watchdog_cycles = watchdog_cycles;
         if (serial_fallback != 0)
@@ -733,6 +767,15 @@ guardedMain(const std::function<int()> &body)
     } catch (const sim::WatchdogError &e) {
         std::cerr << e.what();
         return sim::kWatchdogExitCode;
+    } catch (const sim::DpuCrashError &e) {
+        // A whole-DPU crash outside durable mode is unrecoverable by
+        // design: the run's data died with the DPU. Same "workload
+        // died, harness fine" exit as the watchdog.
+        std::cerr << "whole-DPU crash at cycle " << e.atCycle() << ": "
+                  << e.what()
+                  << "\n(run with --durable=on to recover; "
+                     "docs/durability.md)\n";
+        return sim::kWatchdogExitCode;
     }
 }
 
@@ -799,7 +842,8 @@ runPoint(const WorkloadFactory &factory, core::StmKind kind,
         std::string(core::stmKindName(kind)) + "/" +
         core::metadataTierName(tier) + "/t" + std::to_string(tasklets) +
         (base.boosting ? "/boosted" : "") +
-        (base.adaptive.enabled ? "/adaptive" : "");
+        (base.adaptive.enabled ? "/adaptive" : "") +
+        (base.durable ? "/durable" : "");
 
     std::vector<double> tputs, aborts, apps;
     std::array<std::vector<double>, sim::kNumPhases> shares;

@@ -16,6 +16,10 @@
  *    (opposite-order atomic acquisition) or livelock (abort storm with
  *    no fallback, watchdog armed) and exit through the watchdog
  *    protocol: diagnostic dump on stderr, exit code 3.
+ *  - --demo-dpu-crash: a whole-DPU crash (`dpu-crash=` plan) with
+ *    durable mode OFF — unrecoverable by design, so the run dies
+ *    through the same diagnostic exit-3 protocol as the watchdog.
+ *    bench/micro_durable demonstrates the recoverable counterpart.
  *  - --demo-vr-livelock: the paper's §3.2.1 upgrade rule turned
  *    livelock — two lockstep read->write upgrades under VR ETLWB with
  *    abort backoff off. Combine with --trace-out=FILE for the worked
@@ -199,6 +203,23 @@ demoLivelock()
     return 1; // unreachable when the demo works
 }
 
+/** A whole-DPU crash with durable mode off: the data died with the
+ * DPU, so runWorkload propagates sim::DpuCrashError and guardedMain
+ * exits through the diagnostic exit-3 protocol. */
+int
+demoDpuCrash()
+{
+    runtime::RunSpec spec;
+    spec.kind = core::StmKind::NOrec;
+    spec.tasklets = 4;
+    spec.mram_bytes = 8 * 1024 * 1024;
+    spec.faults = sim::FaultPlan::parse("dpu-crash=200");
+
+    ArrayBench wl(ArrayBenchParams::workloadB(10));
+    (void)runtime::runWorkload(wl, spec); // throws DpuCrashError
+    return 1; // unreachable when the demo works
+}
+
 /**
  * The VR read->write upgrade livelock (docs/observability.md's worked
  * Perfetto example): with abort backoff disabled, two tasklets running
@@ -251,6 +272,7 @@ int
 main(int argc, char **argv)
 {
     bool deadlock = false, livelock = false, vr_livelock = false;
+    bool dpu_crash = false;
     const auto opt = BenchOptions::parse(
         argc, argv, [&](const std::string &a) {
             if (a == "--demo-deadlock")
@@ -259,6 +281,8 @@ main(int argc, char **argv)
                 return livelock = true;
             if (a == "--demo-vr-livelock")
                 return vr_livelock = true;
+            if (a == "--demo-dpu-crash")
+                return dpu_crash = true;
             return false;
         });
 
@@ -269,6 +293,8 @@ main(int argc, char **argv)
             return demoLivelock();
         if (vr_livelock)
             return demoVrLivelock(opt);
+        if (dpu_crash)
+            return demoDpuCrash();
         fastPathOverhead(opt);
         abortStorm(opt);
         return 0;

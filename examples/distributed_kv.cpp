@@ -22,6 +22,10 @@
  *   --seed=N             workload seed              (default 2026)
  *   --faults=SPEC        fault plan (docs/robustness.md grammar)
  *   --boosting=on|off    boosted shard maps (docs/boosting.md)
+ *   --durable=on|off     durable shard STMs + coordinator WAL, so
+ *                        dpu-crash fault items recover instead of
+ *                        failing the run (docs/durability.md);
+ *                        excludes --boosting=on
  */
 
 #include <charconv>
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "hostapp/distributed_kv.hh"
+#include "sim/fault.hh"
 #include "util/rng.hh"
 
 using namespace pimstm;
@@ -56,16 +61,15 @@ parseNum(const std::string &arg, const char *prefix)
     return out;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     unsigned shards = 8, tasklets = 11;
     u32 ops_per_batch = 2000, batches = 2, movek_permille = 100;
     u32 capacity = 2048;
     u64 seed = 2026;
     bool boosting = false;
+    bool durable = false;
     sim::FaultPlan faults;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -91,6 +95,10 @@ main(int argc, char **argv)
             boosting = true;
         else if (a == "--boosting=off")
             boosting = false;
+        else if (a == "--durable=on")
+            durable = true;
+        else if (a == "--durable=off")
+            durable = false;
         else {
             std::cerr << "unknown option '" << a << "'\n";
             return 2;
@@ -98,6 +106,11 @@ main(int argc, char **argv)
     }
     if (movek_permille > 1000) {
         std::cerr << "--movek-permille must be <= 1000\n";
+        return 2;
+    }
+    if (durable && boosting) {
+        std::cerr << "--durable=on excludes --boosting=on "
+                     "(docs/durability.md)\n";
         return 2;
     }
 
@@ -110,6 +123,7 @@ main(int argc, char **argv)
     cfg.seed = seed;
     cfg.faults = faults;
     cfg.boosting = boosting;
+    cfg.durable = durable;
     auto kv = std::make_unique<DistributedKv>(cfg);
 
     // Host-side reference model, updated from each batch's reported
@@ -258,4 +272,27 @@ main(int argc, char **argv)
                  "(population "
               << kv->population() << ", all values, no leaked pins)\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runExample(argc, argv);
+    } catch (const sim::WatchdogError &e) {
+        std::cerr << e.what();
+        return sim::kWatchdogExitCode;
+    } catch (const sim::DpuCrashError &e) {
+        // A whole-DPU shard crash outside durable mode is
+        // unrecoverable by design: the shard's data died with the DPU.
+        // Same "workload died, harness fine" exit as the bench
+        // harnesses (bench/common.hh guardedMain).
+        std::cerr << "whole-DPU crash at cycle " << e.atCycle() << ": "
+                  << e.what()
+                  << "\n(run with --durable=on to recover; "
+                     "docs/durability.md)\n";
+        return sim::kWatchdogExitCode;
+    }
 }

@@ -86,6 +86,17 @@ def main():
                             f"divergence at index "
                             f"{next((i for i, (x, y) in enumerate(zip(bd, fd)) if x != y), min(len(bd), len(fd)))})")
 
+    # The durable subsystem's counters are simulated state as well
+    # (log bytes, fences, redo/undo decisions — docs/durability.md):
+    # when both artifacts carry a "durable" block it must match exactly.
+    b_dur, f_dur = base.get("durable"), fresh.get("durable")
+    if b_dur is not None and f_dur is not None and b_dur != f_dur:
+        for field in sorted(set(b_dur) | set(f_dur)):
+            if b_dur.get(field) != f_dur.get(field):
+                failures.append(f"durable.{field}: baseline "
+                                f"{b_dur.get(field)} != fresh "
+                                f"{f_dur.get(field)}")
+
     # Host performance: informational only.
     bw = base.get("totals", {}).get("wall_s")
     fw = fresh.get("totals", {}).get("wall_s")

@@ -15,13 +15,19 @@ from its "trace" block:
     boosted/word structure the aborted transaction was operating on),
   - the boosted-library counters (abstract-lock acquires/waits,
     semantic undos, false conflicts avoided) when boosting ran,
+  - the durable-transaction summary (log traffic, fences per commit,
+    crash recoveries and what each recovery pass did) from the
+    "durable" block (docs/durability.md) when --durable=on ran,
   - the log2 histograms (transaction latency, commit latency, and
     read/write-set size at commit),
   - the epoch-controller decision timeline from the "adaptive" block
     (docs/adaptive.md) when the bench ran with online adaptation.
 
-With a --trace-out Perfetto file, prints per-track event counts and
-the abort breakdown reconstructed from the "abort" instant events.
+With a --trace-out Perfetto file, prints per-track event counts, the
+abort breakdown reconstructed from the "abort" instant events, and —
+when the run crashed and recovered — a recovery timeline: each
+"recovery" instant in time order with the durable commits that landed
+since the previous recovery pass.
 Ring-buffer drops mean a Perfetto file may undercount; the perf-json
 aggregates never drop (they are counted outside the ring).
 """
@@ -56,6 +62,27 @@ def print_histogram(name, h):
         print(f"  >= {low:>12}  {count:>10}  {bar(count, peak)}")
 
 
+def report_durable(durable):
+    """Durable-transaction summary (docs/durability.md)."""
+    print("== durable transactions ==")
+    commits = durable["durable_commits"]
+    print(f"  durable commits: {commits}, "
+          f"log appends: {durable['log_appends']}, "
+          f"log bytes: {durable['log_bytes']}, "
+          f"flush fences: {durable['flush_fences']}")
+    if commits > 0:
+        print(f"  per commit: {durable['flush_fences'] / commits:.2f} "
+              f"fences, {durable['log_bytes'] / commits:.1f} log bytes")
+    rec = durable["recoveries"]
+    if rec == 0:
+        print("  recoveries: 0 (no crash was delivered)")
+        return
+    print(f"  recoveries: {rec} — replayed {durable['log_redone']} "
+          f"redo logs, rolled back {durable['log_undone']} undo logs, "
+          f"discarded {durable['log_discarded']} incomplete logs, "
+          f"detected {durable['torn_logs']} torn records")
+
+
 def report_adaptive(adaptive):
     """Decision timeline of the epoch controller (docs/adaptive.md)."""
     print("== adaptive controller timeline ==")
@@ -80,14 +107,19 @@ def report_adaptive(adaptive):
 def report_perf_json(data, top_k):
     trace = data.get("trace")
     adaptive = data.get("adaptive")
+    durable = data.get("durable")
     if trace is None:
+        if durable is not None:
+            report_durable(durable)
         if adaptive is not None:
             report_adaptive(adaptive)
+        if durable is not None or adaptive is not None:
             return
-        sys.exit("error: no 'trace' or 'adaptive' block in this "
-                 "artifact — rerun the bench with --trace (see "
-                 "docs/observability.md) or with online adaptation "
-                 "(docs/adaptive.md)")
+        sys.exit("error: no 'trace', 'adaptive' or 'durable' block in "
+                 "this artifact — rerun the bench with --trace (see "
+                 "docs/observability.md), with online adaptation "
+                 "(docs/adaptive.md) or with --durable=on "
+                 "(docs/durability.md)")
 
     print(f"trace: {trace['runs']} traced runs, "
           f"{trace['dropped']} ring-dropped records "
@@ -146,6 +178,9 @@ def report_perf_json(data, top_k):
             print_histogram(label, trace[key])
             print()
 
+    if durable is not None:
+        report_durable(durable)
+        print()
     if adaptive is not None:
         report_adaptive(adaptive)
 
@@ -156,6 +191,7 @@ def report_perfetto(events, top_k):
     tracks = Counter()
     names = Counter()
     abort_reasons = Counter()
+    durable_stream = {}  # pid -> file-ordered recovery/durable_commit
     for e in events:
         ph = e.get("ph")
         if ph == "M":
@@ -164,8 +200,10 @@ def report_perfetto(events, top_k):
         name = e.get("name")  # "E" span-end events legally omit it
         if name is not None:
             names[name] += 1
-        if ph == "i" and e.get("name") == "abort":
+        if ph == "i" and name == "abort":
             abort_reasons[e.get("args", {}).get("reason", "?")] += 1
+        if ph == "i" and name in ("recovery", "durable_commit"):
+            durable_stream.setdefault(e.get("pid"), []).append(e)
 
     print(f"{sum(tracks.values())} events on {len(tracks)} tracks")
 
@@ -179,6 +217,33 @@ def report_perfetto(events, top_k):
         print("  (no abort instants in the ring)")
     for name, count in abort_reasons.most_common():
         print(f"  {name:>18}: {count}")
+
+    crashed_pids = [pid for pid, evs in sorted(durable_stream.items())
+                    if any(e["name"] == "recovery" for e in evs)]
+    if crashed_pids:
+        # Each "recovery" instant marks one completed post-crash pass
+        # (docs/durability.md): arg = logs replayed/rolled back, arg2 =
+        # logs discarded as incomplete or torn. Every restart resets
+        # the cycle clock, so incarnations are stitched by ring order
+        # (insertion order), not by timestamp.
+        print("\n== recovery timeline (per traced run) ==")
+        for pid in crashed_pids:
+            print(f"  pid {pid}:")
+            banked = 0
+            n = 0
+            for e in durable_stream[pid]:
+                if e["name"] == "durable_commit":
+                    banked += 1
+                    continue
+                n += 1
+                args = e.get("args", {})
+                print(f"    crash #{n}: {banked} durable commits "
+                      f"banked, then recovery replayed="
+                      f"{args.get('arg', '?')} "
+                      f"discarded={args.get('arg2', '?')}")
+                banked = 0
+            print(f"    final incarnation ran to completion with "
+                  f"{banked} durable commits")
 
     print(f"\n== busiest {top_k} tracks ==")
     for (pid, tid), count in tracks.most_common(top_k):

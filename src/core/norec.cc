@@ -147,10 +147,17 @@ NOrecStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
                         contended ? ctx.now() - acquire_from : 0);
     }
 
+    // Durability point (no-op unless durable): the redo image and the
+    // commit record are sealed while the seqlock is odd, so no other
+    // commit can interleave between the record and the write-back.
+    durableCommitPoint(ctx, tx);
+
     // Write back under the (odd) sequence lock.
     scanCost(ctx, tx.write_set.size(), writeEntryBytes());
     for (const auto &e : tx.write_set)
         ctx.write32(e.addr, e.value);
+
+    durableAfterApply(ctx, tx);
 
     // Publish: single writer, so a plain store suffices.
     seqlock_ = tx.snapshot + 2;

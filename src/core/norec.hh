@@ -55,6 +55,15 @@ class NOrecStm : public Stm
     size_t writeEntryBytes() const override { return 8; } // addr + value
     size_t lockTableEntryBytes() const override { return 0; }
 
+    /** A crash mid-commit leaves the seqlock odd; recovery frees it by
+     * advancing to the next even value (the write-back it guarded was
+     * redone or discarded from the log, so readers restart cleanly). */
+    void
+    clearLocksForRecovery() override
+    {
+        seqlock_ += (seqlock_ & 1);
+    }
+
   private:
     /**
      * Wait for an even (free) sequence lock, validate the read set

@@ -96,6 +96,33 @@ struct StmStats
     /** @} */
 
     /**
+     * @{ Durable-transaction counters (zero unless StmConfig::durable;
+     * docs/durability.md). Host-side tallies of log traffic the
+     * simulator charges through the ordinary cost model.
+     */
+    /** Bytes appended to the MRAM redo/undo log. */
+    u64 log_bytes = 0;
+    /** Log append operations (one per commit for WB kinds, one per
+     * first-write-of-an-address for WT kinds). */
+    u64 log_appends = 0;
+    /** MRAM flush fences issued by the commit protocol. */
+    u64 flush_fences = 0;
+    /** Transactions whose commit record reached the persist boundary. */
+    u64 durable_commits = 0;
+    /** Post-crash recovery passes run on this instance. */
+    u64 recoveries = 0;
+    /** Committed logs re-applied during recovery. */
+    u64 log_redone = 0;
+    /** Active (undo) logs rolled back during recovery. */
+    u64 log_undone = 0;
+    /** Logs discarded during recovery (empty or failed checksums). */
+    u64 log_discarded = 0;
+    /** Logs whose records were observed torn at recovery (checksum
+     * mismatch on a non-empty slot). */
+    u64 torn_logs = 0;
+    /** @} */
+
+    /**
      * @{ Contention-signal counters consumed by the epoch adaptation
      * controller (docs/adaptive.md). Host-side tallies of costs the
      * simulator already charges elsewhere — maintaining them never
@@ -152,6 +179,15 @@ struct StmStats
         boosted_waits += o.boosted_waits;
         semantic_undos += o.semantic_undos;
         false_conflicts_avoided += o.false_conflicts_avoided;
+        log_bytes += o.log_bytes;
+        log_appends += o.log_appends;
+        flush_fences += o.flush_fences;
+        durable_commits += o.durable_commits;
+        recoveries += o.recoveries;
+        log_redone += o.log_redone;
+        log_undone += o.log_undone;
+        log_discarded += o.log_discarded;
+        torn_logs += o.torn_logs;
         lock_waits += o.lock_waits;
         lock_wait_cycles += o.lock_wait_cycles;
         backoff_cycles += o.backoff_cycles;

@@ -189,6 +189,23 @@ struct StmConfig
     unsigned boost_wait_polls = 64;
 
     /**
+     * Durable transactions (docs/durability.md): commits become
+     * crash-atomic against injected whole-DPU power loss (fault plan
+     * `dpu-crash=OPS`). Write-back kinds seal a redo log with a
+     * sequenced commit record and a flush fence before applying in
+     * place; write-through kinds undo-log each first write under the
+     * write-ahead rule. After a sim::DpuCrashError the host calls
+     * Stm::recoverAfterCrash(), which rebuilds a consistent committed
+     * state from flushed MRAM alone. Off by default; when off no
+     * durable code path runs and every charge sequence is bitwise
+     * identical to a build without the subsystem (CI-gated).
+     * Incompatible with serial_fallback_after (direct writes bypass
+     * the log), boosting (semantic operations have no redo image) and
+     * external_layout (the kind-switch wrapper owns no log region).
+     */
+    bool durable = false;
+
+    /**
      * @{ Online-adaptation knobs (docs/adaptive.md). All default-off:
      * with every knob at its default the charge sequence is bitwise
      * identical to a build without the adaptation subsystem (CI-gated).
@@ -265,6 +282,41 @@ struct BoostedTotals
 
 /** Snapshot of the accumulated totals (thread-safe). */
 BoostedTotals boostedTotals();
+
+/**
+ * Process-wide totals of the durable-transaction counters (host-side
+ * observability, the `durable` block of --perf-json). Folded in by
+ * Stm::~Stm from StmStats, like the boosting totals.
+ */
+struct DurableTotals
+{
+    u64 log_bytes = 0;
+    u64 log_appends = 0;
+    u64 flush_fences = 0;
+    u64 durable_commits = 0;
+    u64 recoveries = 0;
+    u64 log_redone = 0;
+    u64 log_undone = 0;
+    u64 log_discarded = 0;
+    u64 torn_logs = 0;
+};
+
+/** Snapshot of the accumulated totals (thread-safe). */
+DurableTotals durableTotals();
+
+/** What one Stm::recoverAfterCrash() pass found in the log region. */
+struct RecoveryReport
+{
+    /** Committed (redo) logs re-applied, in commit-sequence order. */
+    unsigned redone = 0;
+    /** Active (undo) logs rolled back. */
+    unsigned undone = 0;
+    /** Non-empty slots discarded without replay (a record that never
+     * reached its durability fence, so no data write depends on it). */
+    unsigned discarded = 0;
+    /** Slots holding at least one checksum-failed (torn) record. */
+    unsigned torn = 0;
+};
 
 class Stm;
 
@@ -462,6 +514,21 @@ class Stm
     virtual void dumpOwnership(std::ostream &os) const { (void)os; }
     /** @} */
 
+    /**
+     * @{ Durable-transaction surface (docs/durability.md). After an
+     * injected whole-DPU crash (sim::DpuCrashError) the host calls
+     * recoverAfterCrash before re-running the program: committed redo
+     * logs are re-applied in commit order, active undo logs are rolled
+     * back, torn records are discarded, every slot is truncated and
+     * all volatile STM bookkeeping (ownership records, descriptors,
+     * serial token) is reset. Access is raw and untimed — recovery
+     * models the host reloading the DPU, not DPU cycles. Idempotent:
+     * a second pass finds only empty slots.
+     */
+    bool durable() const { return cfg_.durable; }
+    RecoveryReport recoverAfterCrash();
+    /** @} */
+
   protected:
     /** @{ Algorithm hooks. doCommit/doRead/doWrite may abort by calling
      * txAbort(), which cleans up via doAbortCleanup() and throws. */
@@ -556,6 +623,53 @@ class Stm
     }
     /** @} */
 
+    /**
+     * @{ Durable commit protocol hooks (docs/durability.md). Each is a
+     * single never-taken compare when StmConfig::durable is off.
+     *
+     * Write-back kinds call durableCommitPoint once validation has
+     * succeeded and every ownership record is held, BEFORE the first
+     * in-place write: it appends the redo image of the write set to
+     * the tasklet's log slot, seals it with a sequenced commit record
+     * and issues a flush fence — the transaction's durability point.
+     * After write-back (ownership still held) durableAfterApply fences
+     * the applied data and truncates the slot; the truncation itself
+     * stays unfenced because a resurrected committed record only
+     * re-applies the values this commit already made durable.
+     *
+     * Write-through kinds undo-log through durableWalBeforeWrite
+     * (called by their recordWrite with the ownership record held,
+     * before the in-place write: entry + fence, the write-ahead rule)
+     * and call durableCommitInPlace before releasing ownership: fence
+     * (the durability point — the in-place writes are now flushed),
+     * truncate, fence again so a stale *active* record can never
+     * resurface and undo committed data. The abort-side truncation
+     * (wired in txAbort) fences the restored values first and leaves
+     * the truncation unfenced: replaying a resurrected undo log
+     * rewrites the very values doAbortCleanup already restored.
+     */
+    void durableCommitPoint(DpuContext &ctx, TxDescriptor &tx);
+    void durableAfterApply(DpuContext &ctx, TxDescriptor &tx);
+    void durableCommitInPlace(DpuContext &ctx, TxDescriptor &tx);
+    void durableWalBeforeWrite(DpuContext &ctx, TxDescriptor &tx, Addr a,
+                               u32 old_value);
+    /** WT abort-side truncation; called by doAbortCleanup AFTER the
+     * old values are restored and BEFORE the ownership records are
+     * released (the slot must never outlive the locks protecting the
+     * addresses its stale undo image names). */
+    void durableAbortTruncate(DpuContext &ctx, TxDescriptor &tx);
+
+    /** True for kinds whose doWrite mutates data in place (WT), which
+     * durable mode must undo-log under the write-ahead rule. */
+    virtual bool writesInPlace() const { return false; }
+
+    /** Reset every ownership record to the free state after a crash.
+     * The records are host-side vectors, so they survive the simulated
+     * power loss — but only as stale bookkeeping of transactions that
+     * no longer exist. */
+    virtual void clearLocksForRecovery() {}
+    /** @} */
+
     sim::Dpu &dpu_;
     StmConfig cfg_;
     StmStats stats_;
@@ -639,6 +753,42 @@ class Stm
 
     /** Transactions between txStart and commit/abort (quiesce count). */
     unsigned active_txs_ = 0;
+
+    /**
+     * @{ Durable log state (docs/durability.md). The slot layout is
+     * per tasklet: two 16-byte self-checksummed header copies written
+     * ping-pong (so at most one copy is ever unflushed, and a torn
+     * header write always leaves the other copy readable), then
+     * max_write_set 16-byte entries. All mirrors of MRAM content here
+     * are host bookkeeping; recovery trusts only the MRAM bytes.
+     */
+    /** Log region reserved and persist tracking armed. */
+    bool durable_log_ = false;
+    /** MRAM byte offset of tasklet 0's slot. */
+    u32 log_base_ = 0;
+    /** Bytes per per-tasklet slot (32-byte header area + entries). */
+    size_t log_slot_bytes_ = 0;
+    /** Commit sequence source; headers carry its low 32 bits. */
+    u64 durable_seq_ = 0;
+    /** Per-tasklet open-slot mirror: 0 empty, 1 active, 2 committed. */
+    std::vector<u8> slot_state_;
+    /** Sequence number of each tasklet's open record. */
+    std::vector<u32> slot_seq_;
+    /** Which header copy the next header write lands in (ping-pong). */
+    std::vector<u8> slot_flip_;
+    /** Reused redo-image encoding scratch (host). */
+    std::vector<u8> log_scratch_;
+
+    u32
+    logSlotBase(unsigned tasklet) const
+    {
+        return log_base_ + static_cast<u32>(log_slot_bytes_ * tasklet);
+    }
+
+    void writeLogHeader(DpuContext &ctx, unsigned tasklet, u32 seq,
+                        u32 entries, u32 state);
+    void durableFence(DpuContext &ctx);
+    /** @} */
 
   protected:
     /** Must be invoked at the end of every concrete constructor. */

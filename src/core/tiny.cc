@@ -227,6 +227,9 @@ TinyStm::recordWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v,
     e.lock_index = index;
     if (!wb_) {
         e.old_value = ctx.read32(a);
+        // Write-ahead rule (no-op unless durable): the undo entry is
+        // fenced before the in-place write below, with the ORec held.
+        durableWalBeforeWrite(ctx, tx, a, e.old_value);
     }
     tx.pushWrite(e);
     metaWrite(ctx, writeEntryBytes());
@@ -276,9 +279,17 @@ TinyStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
     }
 
     if (wb_) {
+        // Durability point (no-op unless durable): redo image sealed
+        // after validation, with every written ORec held.
+        durableCommitPoint(ctx, tx);
         scanCost(ctx, tx.write_set.size(), writeEntryBytes());
         for (const auto &e : tx.write_set)
             ctx.write32(e.addr, e.value);
+        durableAfterApply(ctx, tx);
+    } else {
+        // WT durability point: in-place writes flushed, undo retired,
+        // before any ORec is released.
+        durableCommitInPlace(ctx, tx);
     }
 
     // Release with the commit timestamp.
@@ -299,6 +310,9 @@ TinyStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
              ++it) {
             ctx.write32(it->addr, it->old_value);
         }
+        // Flush the restores and retire the undo log while the ORecs
+        // are still held (no-op unless durable).
+        durableAbortTruncate(ctx, tx);
     }
     // Drop the lock bit; the version is untouched (it was never
     // advanced), so concurrent readers remain consistent.

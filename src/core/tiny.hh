@@ -62,6 +62,17 @@ class TinyStm : public Stm
     size_t writeEntryBytes() const override { return 24; }
     size_t lockTableEntryBytes() const override { return 8; }
 
+    bool writesInPlace() const override { return !wb_; }
+
+    /** Drop every stale lock bit after a crash; versions are kept (a
+     * crashed owner never advanced them, exactly like an abort). */
+    void
+    clearLocksForRecovery() override
+    {
+        for (Orec &o : table_)
+            o.locked = false;
+    }
+
   private:
     /** One ownership record. The version is only advanced at commit;
      * an aborting owner just clears the lock bit, leaving the version

@@ -54,6 +54,18 @@ TraceBuffer::printRecord(std::ostream &os, const TraceRecord &r)
       case TxEvent::FaultAcqDelay:
         os << " cycles=" << r.arg;
         break;
+      case TxEvent::LogAppend:
+        os << " bytes=" << r.arg << " entries=" << r.arg2;
+        break;
+      case TxEvent::FlushFence:
+        os << " lines=" << r.arg;
+        break;
+      case TxEvent::DurableCommit:
+        os << " seq=" << r.arg;
+        break;
+      case TxEvent::Recovery:
+        os << " redone=" << r.arg << " dropped=" << r.arg2;
+        break;
       default:
         break;
     }
@@ -211,7 +223,11 @@ TraceBuffer::writePerfetto(std::ostream &os, u32 pid,
                           r.event == TxEvent::Validate ||
                           r.event == TxEvent::BoostAcquire ||
                           r.event == TxEvent::BoostWait ||
-                          r.event == TxEvent::SemanticUndo
+                          r.event == TxEvent::SemanticUndo ||
+                          r.event == TxEvent::LogAppend ||
+                          r.event == TxEvent::FlushFence ||
+                          r.event == TxEvent::DurableCommit ||
+                          r.event == TxEvent::Recovery
                               ? "stm"
                               : "sched"))
                << "\",\"name\":\"" << txEventName(r.event)

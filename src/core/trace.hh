@@ -107,6 +107,19 @@ enum class TxEvent : u8
     /** One semantic inverse operation replayed on abort
      * (arg = remaining undo-log depth). */
     SemanticUndo,
+    /** @{ Durable-transaction events (docs/durability.md). */
+    /** Redo/undo entries appended to the MRAM log (arg = bytes,
+     * arg2 = entries). */
+    LogAppend,
+    /** MRAM flush fence issued (arg = lines pushed durable). */
+    FlushFence,
+    /** Commit record durable — the transaction's persistence point
+     * (arg = global durable sequence number). */
+    DurableCommit,
+    /** Post-crash recovery pass completed (arg = logs redone,
+     * arg2 = logs discarded or undone). */
+    Recovery,
+    /** @} */
     NumEvents,
 };
 
@@ -134,6 +147,10 @@ txEventName(TxEvent e)
       case TxEvent::BoostAcquire: return "boost_acquire";
       case TxEvent::BoostWait: return "boost_wait";
       case TxEvent::SemanticUndo: return "semantic_undo";
+      case TxEvent::LogAppend: return "log_append";
+      case TxEvent::FlushFence: return "flush_fence";
+      case TxEvent::DurableCommit: return "durable_commit";
+      case TxEvent::Recovery: return "recovery";
       default: return "?";
     }
 }

@@ -209,8 +209,13 @@ VrStm::recordWrite(DpuContext &ctx, TxDescriptor &tx, Addr a, u32 v,
     e.addr = a;
     e.value = v;
     e.lock_index = index;
-    if (!wb_)
+    if (!wb_) {
         e.old_value = ctx.read32(a);
+        // Write-ahead rule (no-op unless durable): the undo entry is
+        // fenced before the in-place write below, with the write lock
+        // held.
+        durableWalBeforeWrite(ctx, tx, a, e.old_value);
+    }
     tx.pushWrite(e);
     metaWrite(ctx, writeEntryBytes());
     if (!wb_)
@@ -236,9 +241,17 @@ VrStm::doCommit(DpuContext &ctx, TxDescriptor &tx)
             writeLock(ctx, tx, e.lock_index, true, e.addr);
     }
     if (wb_ && !tx.write_set.empty()) {
+        // Durability point (no-op unless durable): every write lock is
+        // held, visible reads need no validation.
+        durableCommitPoint(ctx, tx);
         scanCost(ctx, tx.write_set.size(), writeEntryBytes());
         for (const auto &e : tx.write_set)
             ctx.write32(e.addr, e.value);
+        durableAfterApply(ctx, tx);
+    } else if (!wb_) {
+        // WT durability point: in-place writes flushed, undo retired,
+        // before any rw-lock is released.
+        durableCommitInPlace(ctx, tx);
     }
     releaseAll(ctx, tx);
 }
@@ -251,6 +264,9 @@ VrStm::doAbortCleanup(DpuContext &ctx, TxDescriptor &tx)
              ++it) {
             ctx.write32(it->addr, it->old_value);
         }
+        // Flush the restores and retire the undo log while the write
+        // locks are still held (no-op unless durable).
+        durableAbortTruncate(ctx, tx);
     }
     releaseAll(ctx, tx);
 }

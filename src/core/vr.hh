@@ -56,6 +56,16 @@ class VrStm : public Stm
     size_t writeEntryBytes() const override { return 16; }
     size_t lockTableEntryBytes() const override { return 4; }
 
+    bool writesInPlace() const override { return !wb_; }
+
+    /** Free every stale rw-lock word after a crash. */
+    void
+    clearLocksForRecovery() override
+    {
+        for (u32 &w : table_)
+            w = 0;
+    }
+
   private:
     /**
      * Acquire the rw-lock at @p index in read mode. No-op when this

@@ -72,6 +72,9 @@ accumulateTwoPcTotals(const TwoPcStats &d)
     g_totals.participant_redeliveries += d.participant_redeliveries;
     g_totals.crashes_in_prepare += d.crashes_in_prepare;
     g_totals.crashes_in_commit += d.crashes_in_commit;
+    g_totals.shard_recoveries += d.shard_recoveries;
+    g_totals.wal_persists += d.wal_persists;
+    g_totals.decisions_replayed += d.decisions_replayed;
     g_totals.bytes_down += d.bytes_down;
     g_totals.bytes_up += d.bytes_up;
     g_totals.shard_busy_seconds += d.shard_busy_seconds;
@@ -94,6 +97,9 @@ twoPcStatsJson(const TwoPcStats &s)
       << ", \"participant_redeliveries\": " << s.participant_redeliveries
       << ", \"crashes_in_prepare\": " << s.crashes_in_prepare
       << ", \"crashes_in_commit\": " << s.crashes_in_commit
+      << ", \"shard_recoveries\": " << s.shard_recoveries
+      << ", \"wal_persists\": " << s.wal_persists
+      << ", \"decisions_replayed\": " << s.decisions_replayed
       << ", \"bytes_down\": " << s.bytes_down
       << ", \"bytes_up\": " << s.bytes_up
       << ", \"mean_shard_occupancy\": " << s.meanShardOccupancy() << "}";
@@ -187,6 +193,9 @@ DistributedKv::DistributedKv(const DistributedKvConfig &cfg) : cfg_(cfg)
             "serial_token_after must be >= 1");
     fatalIf(cfg.max_inflight_per_shard == 0,
             "max_inflight_per_shard must be >= 1");
+    fatalIf(cfg.durable && cfg.boosting,
+            "durable shards are incompatible with boosting "
+            "(semantic undo logs are not crash-redoable)");
 
     sim::DpuConfig dpu_cfg;
     dpu_cfg.mram_bytes = cfg.mram_bytes;
@@ -220,8 +229,10 @@ DistributedKv::DistributedKv(const DistributedKvConfig &cfg) : cfg_(cfg)
             256);
         stm_cfg.max_write_set = 8;
         stm_cfg.data_words_hint = cfg.capacity_per_shard * 2 + pin_cap * 2;
-        stm_cfg.serial_fallback_after = cfg.stm_serial_fallback_after;
+        stm_cfg.serial_fallback_after =
+            cfg.durable ? 0 : cfg.stm_serial_fallback_after;
         stm_cfg.boosting = cfg.boosting;
+        stm_cfg.durable = cfg.durable;
         shard.stm = core::makeStm(*shard.dpu, stm_cfg);
 
         shard.map = runtime::TxHashMap(*shard.dpu, sim::Tier::Mram,
@@ -236,6 +247,11 @@ DistributedKv::DistributedKv(const DistributedKvConfig &cfg) : cfg_(cfg)
                 *shard.dpu, *shard.stm, shard.pins, 64,
                 core::StructureId::KvPins);
         }
+        // The hash-map bucket image is host-loaded after makeStm armed
+        // persist tracking; fence it so a crash in the first launch
+        // cannot revert the table structure to zeroes.
+        if (cfg.durable)
+            shard.dpu->mram().fence();
     }
 }
 
@@ -339,6 +355,16 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
 
           case WorkItem::Kind::PrepareSrc:
             if (pinLookup(it.key, tok)) {
+                if (tok == it.token) {
+                    // Re-run after a recovered shard crash: our pin
+                    // from the interrupted round committed durably.
+                    // Re-vote Yes, idempotently.
+                    mapLookup(it.key, v);
+                    tmp.ok = true;
+                    tmp.value = v;
+                    tmp.status = Outcome::Status::Done;
+                    return;
+                }
                 tmp.conflict = true;
                 tmp.status = Outcome::Status::Done;
                 return;
@@ -359,6 +385,13 @@ DistributedKv::runItem(Shard &shard, sim::DpuContext &ctx,
 
           case WorkItem::Kind::PrepareDst:
             if (pinLookup(it.key, tok)) {
+                if (tok == it.token) {
+                    // Idempotent re-vote: reservation + pin survived
+                    // the recovered crash.
+                    tmp.ok = true;
+                    tmp.status = Outcome::Status::Done;
+                    return;
+                }
                 tmp.conflict = true;
                 tmp.status = Outcome::Status::Done;
                 return;
@@ -440,6 +473,7 @@ DistributedKv::runLaunch(std::vector<std::vector<WorkItem>> &work,
     {
         double seconds = 0;
         u64 crashes = 0;
+        u64 dpu_crashes = 0;
     };
     std::vector<ShardRun> runs(involved.size());
 
@@ -468,36 +502,67 @@ DistributedKv::runLaunch(std::vector<std::vector<WorkItem>> &work,
         const u64 aborts_before = shard.stm->stats().aborts;
 
         // Round-robin slices: tasklet t handles items[t], [t+T], ...
+        // Items already Done are skipped — that makes the bodies
+        // re-registrable after a recovered whole-DPU crash, where
+        // finished outcomes are host state and survive.
         const unsigned tasklets = static_cast<unsigned>(
             std::min<size_t>(cfg_.tasklets_per_dpu, items.size()));
-        for (unsigned t = 0; t < tasklets; ++t) {
-            shard.dpu->addTasklet([this, &shard, &items, &outs, t,
-                                   tasklets,
-                                   check_pins](sim::DpuContext &ctx) {
-                for (size_t i = t; i < items.size(); i += tasklets)
-                    runItem(shard, ctx, items[i], outs[i], check_pins);
-            });
+        const auto add_bodies = [&] {
+            for (unsigned t = 0; t < tasklets; ++t) {
+                shard.dpu->addTasklet([this, &shard, &items, &outs, t,
+                                       tasklets,
+                                       check_pins](sim::DpuContext &ctx) {
+                    for (size_t i = t; i < items.size(); i += tasklets)
+                        if (outs[i].status == Outcome::Status::NotRun)
+                            runItem(shard, ctx, items[i], outs[i],
+                                    check_pins);
+                });
+            }
+        };
+        const auto charge_round = [&] {
+            const auto &st = shard.dpu->stats();
+            shard.cum_cycles += st.total_cycles;
+            shard.cum_switches += st.sched_switches;
+            shard.cum_elisions += st.sched_elisions;
+            const double secs =
+                cfg_.timing.cyclesToSeconds(st.total_cycles);
+            shard.busy_seconds += secs;
+            runs[ii].seconds += secs;
+            for (const auto &f : shard.dpu->taskletFaults())
+                if (f.injected_crash)
+                    ++runs[ii].crashes;
+        };
+        add_bodies();
+        for (;;) {
+            try {
+                shard.dpu->run();
+                charge_round();
+                break;
+            } catch (const sim::DpuCrashError &) {
+                // Whole-DPU shard crash. Without durable shards the
+                // store is gone — propagate. With them, recover the
+                // shard from its durable log and re-run the launch's
+                // unfinished items (dpu-crash points are one-shot per
+                // DPU lifetime, so this terminates).
+                if (!cfg_.durable)
+                    throw;
+                charge_round();
+                ++runs[ii].dpu_crashes;
+                shard.dpu->resetRun(/*reset_faults=*/false);
+                shard.stm->recoverAfterCrash();
+                add_bodies();
+            }
         }
-        shard.dpu->run();
 
         shard.commits += shard.stm->stats().commits - commits_before;
         shard.aborts += shard.stm->stats().aborts - aborts_before;
-        const auto &st = shard.dpu->stats();
-        shard.cum_cycles += st.total_cycles;
-        shard.cum_switches += st.sched_switches;
-        shard.cum_elisions += st.sched_elisions;
-        const double secs = cfg_.timing.cyclesToSeconds(st.total_cycles);
-        shard.busy_seconds += secs;
-        runs[ii].seconds = secs;
-        for (const auto &f : shard.dpu->taskletFaults())
-            if (f.injected_crash)
-                ++runs[ii].crashes;
     });
 
     double worst = 0.0;
     for (const auto &r : runs) {
         worst = std::max(worst, r.seconds);
         stats_.shard_busy_seconds += r.seconds;
+        stats_.shard_recoveries += r.dpu_crashes;
         if (decision_launch)
             stats_.crashes_in_commit += r.crashes;
         else
@@ -858,6 +923,10 @@ DistributedKv::execute(const std::vector<KvOp> &ops,
             f.decided = true;
             if (sv == Vote::Yes && dv == Vote::Yes) {
                 f.commit = true;
+                // The WAL write: the commit decision is durable before
+                // any fragment is delivered (presumed abort needs no
+                // record for the other outcomes).
+                persistDecision(f);
                 CrossShardTxResult r;
                 r.committed = true;
                 r.value = f.value;
@@ -900,6 +969,9 @@ DistributedKv::execute(const std::vector<KvOp> &ops,
 
         deliverDecisions(decided);
         wal_.clear();
+        // Every fragment of every persisted decision has applied and
+        // acked: truncate the coordinator WAL.
+        persisted_wal_.clear();
     }
 
     recyclePins();
@@ -953,6 +1025,35 @@ DistributedKv::injectCoordinatorCrash(CrashPoint point,
 }
 
 void
+DistributedKv::persistDecision(const InFlight &f)
+{
+    // Model of the durable write: the copy keeps only what recovery
+    // may trust — identity, routing and the verdict. Vote/pin flags
+    // and delivery progress are coordinator memory and die with it.
+    InFlight p;
+    p.src_key = f.src_key;
+    p.dst_key = f.dst_key;
+    p.value = f.value;
+    p.token = f.token;
+    p.src_shard = f.src_shard;
+    p.dst_shard = f.dst_shard;
+    p.tx_index = f.tx_index;
+    p.decided = true;
+    p.commit = f.commit;
+    persisted_wal_.push_back(p);
+    ++stats_.wal_persists;
+}
+
+const DistributedKv::InFlight *
+DistributedKv::findPersisted(u32 token) const
+{
+    for (const auto &p : persisted_wal_)
+        if (p.token == token)
+            return &p;
+    return nullptr;
+}
+
+void
 DistributedKv::recover()
 {
     crash_point_ = CrashPoint::None;
@@ -960,14 +1061,33 @@ DistributedKv::recover()
     if (!recovery_needed_)
         return;
 
-    // Presumed abort: any transaction whose decision was never logged
-    // is aborted; logged decisions are re-delivered idempotently until
-    // every fragment acks.
+    // Rebuild the recovery set from the persisted WAL: a transaction
+    // with a persisted record replays its logged commit; any other is
+    // presumed aborted. The crashed coordinator's vote/pin flags and
+    // delivery progress are not trusted — abort fragments go to both
+    // sides regardless (idempotent on the pin token), and re-delivered
+    // commit fragments that find their pin gone ack as no-ops.
     for (auto &f : wal_) {
-        if (!f.decided) {
+        if (const InFlight *p = findPersisted(f.token)) {
+            f.decided = true;
+            f.commit = p->commit;
+            f.src_done = false;
+            f.dst_done = false;
+            ++stats_.decisions_replayed;
+        } else {
             f.decided = true;
             f.commit = false;
+            f.src_pinned = true; // conservative: abort both sides
+            f.dst_pinned = true;
+            f.src_done = false;
+            f.dst_done = false;
         }
+    }
+    // Pin bookkeeping is coordinator memory too: recount from the pin
+    // tables themselves so delivery's release accounting stays exact.
+    for (auto &shard : shards_) {
+        shard.live_pins = shard.pins.population(*shard.dpu);
+        shard.pins_dirty = shard.pins_dirty || shard.live_pins > 0;
     }
     std::vector<InFlight *> ptrs;
     ptrs.reserve(wal_.size());
@@ -975,6 +1095,7 @@ DistributedKv::recover()
         ptrs.push_back(&f);
     deliverDecisions(ptrs);
     wal_.clear();
+    persisted_wal_.clear();
     recovery_needed_ = false;
     recyclePins();
     foldTotalsDelta();
@@ -1095,6 +1216,10 @@ DistributedKv::foldTotalsDelta()
         stats_.crashes_in_prepare - folded_.crashes_in_prepare;
     d.crashes_in_commit =
         stats_.crashes_in_commit - folded_.crashes_in_commit;
+    d.shard_recoveries = stats_.shard_recoveries - folded_.shard_recoveries;
+    d.wal_persists = stats_.wal_persists - folded_.wal_persists;
+    d.decisions_replayed =
+        stats_.decisions_replayed - folded_.decisions_replayed;
     d.bytes_down = stats_.bytes_down - folded_.bytes_down;
     d.bytes_up = stats_.bytes_up - folded_.bytes_up;
     d.shard_busy_seconds =

@@ -137,6 +137,9 @@ struct TwoPcStats
     u64 participant_redeliveries = 0; ///< fragments re-sent after a crash
     u64 crashes_in_prepare = 0; ///< injected crashes during prepare rounds
     u64 crashes_in_commit = 0;  ///< injected crashes during decision rounds
+    u64 shard_recoveries = 0;   ///< whole-DPU shard crashes recovered
+    u64 wal_persists = 0;       ///< commit decisions persisted to the WAL
+    u64 decisions_replayed = 0; ///< persisted decisions replayed by recover()
     u64 bytes_down = 0;         ///< host -> DPU fragment/decision bytes
     u64 bytes_up = 0;           ///< DPU -> host result/vote/ack bytes
     double shard_busy_seconds = 0;     ///< summed per-shard simulated time
@@ -227,6 +230,14 @@ struct DistributedKvConfig
      * (runtime::BoostedMap, docs/boosting.md) instead of word-based
      * transactions. */
     bool boosting = false;
+
+    /** Durable shards (StmConfig::durable, docs/durability.md): every
+     * shard STM logs its commits at the MRAM persist boundary, and a
+     * whole-DPU shard crash (`dpu-crash=` fault plan) is recovered
+     * in-launch — unfinished fragments re-run, finished outcomes are
+     * host state and survive. Forces stm_serial_fallback_after off
+     * (incompatible with durable mode) and excludes boosting. */
+    bool durable = false;
 };
 
 /** A KV store sharded over several simulated DPUs. */
@@ -393,6 +404,13 @@ class DistributedKv
     /** Recycle quiescent dirty pin tables (tombstone cleanup). */
     void recyclePins();
 
+    /** Persist one logged commit decision (the coordinator WAL's
+     * durability seam — presumed abort needs no persisted record). */
+    void persistDecision(const InFlight &f);
+
+    /** Persisted decision for @p token, or null (presumed abort). */
+    const InFlight *findPersisted(u32 token) const;
+
     void foldTotalsDelta();
 
     DistributedKvConfig cfg_;
@@ -405,6 +423,11 @@ class DistributedKv
     TwoPcStats folded_; ///< portion already folded into the globals
 
     std::vector<InFlight> wal_; ///< in-flight tx log (coordinator WAL)
+    /** Durable copy of logged commit decisions: persisted before any
+     * delivery, truncated once every fragment has applied. recover()
+     * trusts only this copy — the in-memory wal_'s vote/pin flags are
+     * treated as lost with the crashed coordinator. */
+    std::vector<InFlight> persisted_wal_;
     bool recovery_needed_ = false;
     CrashPoint crash_point_ = CrashPoint::None;
     unsigned crash_decision_shards_ = 0;

@@ -57,6 +57,14 @@ runWorkload(Workload &workload, const RunSpec &spec)
         stm_cfg.serial_fallback_after = spec.serial_fallback_override;
     if (spec.boosting)
         stm_cfg.boosting = true;
+    if (spec.durable) {
+        // The adaptive controller re-plans layout and can switch the
+        // live STM kind; neither composes with a persistent log whose
+        // format is fixed at reserveMetadata time.
+        fatalIf(spec.adaptive.enabled,
+                "durable mode is incompatible with the adaptive controller");
+        stm_cfg.durable = true;
+    }
 
     // Observability (host-only; docs/observability.md). The buffer is
     // shared with the RunResult; the Dpu and StmConfig only borrow it,
@@ -89,6 +97,14 @@ runWorkload(Workload &workload, const RunSpec &spec)
 
     workload.setup(dpu, *stm);
 
+    // Setup writes MRAM through the untimed host port; on hardware
+    // that load DMA completes before the program launches, so the
+    // initial image is durable by construction. Fence the persist
+    // boundary here so an early crash cannot tear data the tasklets
+    // never wrote.
+    if (spec.durable)
+        dpu.mram().fence();
+
     core::Stm *stm_ptr = stm.get();
     Workload *wl = &workload;
     dpu.addTasklets(spec.tasklets, [wl, stm_ptr](sim::DpuContext &ctx) {
@@ -103,7 +119,34 @@ runWorkload(Workload &workload, const RunSpec &spec)
                          [&controller] { controller->onEpoch(); });
     }
 
-    dpu.run();
+    // Durable mode's crash-restart loop (docs/durability.md): a
+    // whole-DPU crash destroys WRAM and tears unflushed MRAM lines.
+    // Recover the STM from its durable log, re-register the tasklets
+    // (they restart their bodies from scratch, like a real relaunch)
+    // and run again, carrying statistics across rounds. Without
+    // durable mode the crash propagates to the caller.
+    sim::DpuStats crashed_rounds;
+    unsigned restarts = 0;
+    for (;;) {
+        try {
+            dpu.run();
+            break;
+        } catch (const sim::DpuCrashError &) {
+            if (!spec.durable)
+                throw;
+            fatalIf(restarts >= spec.max_restarts,
+                    "DPU crash-restart budget exhausted (max_restarts=",
+                    spec.max_restarts, ")");
+            ++restarts;
+            crashed_rounds += dpu.stats();
+            dpu.resetRun(/*reset_faults=*/false);
+            recoverDpu(dpu, *stm_ptr);
+            dpu.addTasklets(spec.tasklets,
+                            [wl, stm_ptr](sim::DpuContext &ctx) {
+                                wl->tasklet(ctx, *stm_ptr);
+                            });
+        }
+    }
     if (adaptive_on)
         dpu.setEpochHook(0, nullptr); // borrowed, like the trace sink
     workload.verify(dpu, *stm);
@@ -113,7 +156,8 @@ runWorkload(Workload &workload, const RunSpec &spec)
     if (controller)
         r.adaptive = controller->report();
     r.dpu = dpu.stats();
-    r.seconds = spec.timing.cyclesToSeconds(dpu.stats().total_cycles);
+    r.dpu += crashed_rounds; // rounds ended by a recovered DPU crash
+    r.seconds = spec.timing.cyclesToSeconds(r.dpu.total_cycles);
     r.throughput =
         r.seconds > 0 ? static_cast<double>(r.stm.commits) / r.seconds : 0;
     r.app_ops_per_sec =
@@ -140,6 +184,7 @@ runWorkload(Workload &workload, const RunSpec &spec)
     ft.injected_aborts = r.stm.injected_aborts;
     ft.escalations = r.stm.escalations;
     ft.serial_commits = r.stm.serial_commits;
+    ft.dpu_crashes = r.dpu.dpu_crashes;
     sim::accumulateFaultTotals(ft);
 
     if (trace_buf) {
@@ -153,6 +198,12 @@ runWorkload(Workload &workload, const RunSpec &spec)
     stm.reset();
     DpuPool::global().release(std::move(dpu_owner));
     return r;
+}
+
+core::RecoveryReport
+recoverDpu(sim::Dpu &, core::Stm &stm)
+{
+    return stm.recoverAfterCrash();
 }
 
 std::vector<RunOutcome>

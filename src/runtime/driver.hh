@@ -162,6 +162,17 @@ struct RunSpec
      * i.e. off — StmConfig::serial_fallback_after). */
     unsigned serial_fallback_override = 0;
 
+    /** Durable transactions (StmConfig::durable, docs/durability.md):
+     * every commit is made crash-atomic through a per-tasklet MRAM
+     * redo/undo log and explicit persist fences. Also arms the driver's
+     * crash-restart loop: a whole-DPU crash (`dpu-crash=` fault plan)
+     * is recovered and the run continues instead of failing. Off =
+     * bitwise identical to a build without the subsystem (CI-gated). */
+    bool durable = false;
+
+    /** Whole-DPU crash restarts tolerated per run (durable mode). */
+    unsigned max_restarts = 16;
+
     /** Route structure operations through the boosted library
      * (StmConfig::boosting; docs/boosting.md). Workloads that have no
      * boosted path ignore it. Off = bitwise-identical to a build
@@ -217,6 +228,15 @@ struct RunResult
  * sweep harnesses catch this to mark the point "not runnable".
  */
 RunResult runWorkload(Workload &workload, const RunSpec &spec);
+
+/**
+ * Host-side recovery of a crashed DPU (docs/durability.md): replays
+ * committed redo records, rolls back interrupted in-place writers,
+ * truncates the durable log and clears every stale lock. Called by the
+ * driver's crash-restart loop; exposed for tests and embedders that
+ * run the Dpu themselves.
+ */
+core::RecoveryReport recoverDpu(sim::Dpu &dpu, core::Stm &stm);
 
 /** Creates a fresh problem instance per run (runs must not share
  * workload state when they execute concurrently). */

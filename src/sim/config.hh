@@ -65,6 +65,12 @@ struct TimingConfig
     /** DMA transfer granularity in bytes (accesses are rounded up). */
     unsigned mram_beat_bytes = 8;
 
+    /** Fixed cost of an MRAM flush fence (docs/durability.md): the
+     * issuing tasklet waits for the DMA engine to drain, then pays
+     * this base plus one beat per unflushed line pushed to the
+     * persist boundary. Only charged in durable mode. */
+    unsigned mram_fence_base_cycles = 8;
+
     /** Extra engine occupancy for *random* (dependent, pointer-chasing)
      * word accesses, which defeat DMA pipelining: the effective random
      * word bandwidth is ~17 M accesses/s, so random-access kernels

@@ -243,6 +243,27 @@ DpuContext::release(u32 key)
 }
 
 void
+DpuContext::flushFence()
+{
+    // The fence drains the DMA engine (wait until it is idle), then
+    // pushes every unflushed line across the persist boundary at one
+    // beat per line. Charged like any other MRAM engine occupancy so
+    // concurrent tasklets feel it through mram_engine_free_.
+    const u64 lines = dpu_.mram_.pendingPersistLines();
+    const Cycles busy = dpu_.timing_.mram_fence_base_cycles +
+                        lines * dpu_.timing_.mram_cycles_per_beat;
+    const Cycles start = std::max(dpu_.now_, dpu_.mram_engine_free_);
+    dpu_.mram_engine_free_ = start + busy;
+    const Cycles done = start + busy;
+    ++dpu_.stats_.mram_fences;
+    dpu_.stats_.mram_fence_lines += lines;
+    dpu_.mram_.fence();
+    const Cycles cost = done - dpu_.now_;
+    charge(phase_, cost);
+    dpu_.consume(id_, cost, phase_);
+}
+
+void
 DpuContext::barrier()
 {
     compute(1);
@@ -348,6 +369,11 @@ Dpu::addTasklet(TaskletBody body)
                 // returning normally is a clean tasklet exit.
                 ++stats_.tasklet_crashes;
                 tasklet_faults_.push_back({tid, "injected crash", true});
+            } catch (const DpuCrashException &) {
+                // Whole-DPU crash: nothing is released — that is the
+                // point. The scheduler sees crash_pending_ and stops.
+                ++stats_.dpu_crashes;
+                tasklet_faults_.push_back({tid, "dpu crash", true});
             } catch (const WatchdogError &) {
                 throw; // a scheduler verdict, not a tasklet fault
             } catch (const std::exception &e) {
@@ -639,6 +665,25 @@ Dpu::run()
     scheduleLoop();
     in_run_ = false;
     stats_.total_cycles = now_;
+    if (crash_pending_) {
+        crash_pending_ = false;
+        // Crash effects, in hardware order: WRAM contents are gone,
+        // unfenced MRAM lines resolve kept / dropped / torn under the
+        // plan-seeded RNG (ordinal-salted so each crash of a multi-
+        // crash plan tears differently), and the atomic register —
+        // a hardware latch — comes back clear on reboot.
+        const u64 ordinal = fault_injector_
+            ? fault_injector_->dpuCrashesDelivered()
+            : 1;
+        wram_.wipe();
+        mram_.crashScramble(
+            deriveSeed(cfg_.faults.seed, 0xdc0dedu, ordinal));
+        atomic_reg_.recycle(cfg_.atomic_bits);
+        throw DpuCrashError(
+            now_, "injected whole-DPU crash at cycle "
+                      + std::to_string(now_)
+                      + " (restartable; durable runs recover)");
+    }
 }
 
 void
@@ -771,6 +816,12 @@ Dpu::scheduleLoop()
             // A finishing tasklet may satisfy an outstanding barrier.
             maybeReleaseBarrier();
         }
+        // Whole-DPU crash: stop scheduling at once. Every other
+        // tasklet is abandoned wherever it was suspended — a power
+        // loss does not unwind stacks. Dpu::run applies the memory
+        // crash effects and reports.
+        if (crash_pending_)
+            return;
     }
 }
 

@@ -89,6 +89,19 @@ struct DpuStats
     Cycles injected_acq_delay_cycles = 0;
     /** Tasklets terminated cleanly by an injected crash. */
     u64 tasklet_crashes = 0;
+    /** Whole-DPU crashes delivered this run (0 or 1: a crash ends the
+     * run; restarts accumulate via operator+=). */
+    u64 dpu_crashes = 0;
+    /** @} */
+
+    /**
+     * @{ Persist-boundary counters (zero unless durable mode issues
+     * flush fences; simulated state, deterministic).
+     */
+    /** Flush fences executed. */
+    u64 mram_fences = 0;
+    /** Unflushed lines pushed to the persist boundary by fences. */
+    u64 mram_fence_lines = 0;
     /** @} */
 
     /**
@@ -110,6 +123,36 @@ struct DpuStats
         for (Cycles c : phase_cycles)
             total += c;
         return total;
+    }
+
+    /** Fold another run's counters in (crash-restart accumulation:
+     * the driver sums the stats of every launch of a durable run). */
+    DpuStats &
+    operator+=(const DpuStats &o)
+    {
+        total_cycles += o.total_cycles;
+        for (size_t p = 0; p < phase_cycles.size(); ++p)
+            phase_cycles[p] += o.phase_cycles[p];
+        instructions += o.instructions;
+        wram_accesses += o.wram_accesses;
+        mram_reads += o.mram_reads;
+        mram_writes += o.mram_writes;
+        mram_bytes_read += o.mram_bytes_read;
+        mram_bytes_written += o.mram_bytes_written;
+        atomic_acquires += o.atomic_acquires;
+        atomic_stalls += o.atomic_stalls;
+        atomic_stall_cycles += o.atomic_stall_cycles;
+        injected_stalls += o.injected_stalls;
+        injected_stall_cycles += o.injected_stall_cycles;
+        injected_acq_delays += o.injected_acq_delays;
+        injected_acq_delay_cycles += o.injected_acq_delay_cycles;
+        tasklet_crashes += o.tasklet_crashes;
+        dpu_crashes += o.dpu_crashes;
+        mram_fences += o.mram_fences;
+        mram_fence_lines += o.mram_fence_lines;
+        sched_switches += o.sched_switches;
+        sched_elisions += o.sched_elisions;
+        return *this;
     }
 };
 
@@ -171,6 +214,15 @@ class DpuContext
     bool tryAcquire(u32 key);
     void release(u32 key);
     /** @} */
+
+    /**
+     * MRAM flush fence (docs/durability.md): wait for the DMA engine
+     * to drain, push every unflushed line to the persist boundary, and
+     * charge mram_fence_base_cycles plus one beat per line. Only the
+     * durable commit protocol issues fences; a run that never fences
+     * is bitwise identical to one built without the persist model.
+     */
+    void flushFence();
 
     /** All-tasklet rendezvous. */
     void barrier();
@@ -288,6 +340,21 @@ class Dpu
     /** Fault-delivery engine, or nullptr when the plan is empty (the
      * common case — callers hook injection behind this null check). */
     FaultInjector *faultInjector() { return fault_injector_.get(); }
+
+    /**
+     * @{ Whole-DPU crash delivery (docs/durability.md). beginCrash()
+     * arms the pending-crash flag; the caller then throws
+     * DpuCrashException from its fiber, the trampoline swallows it and
+     * the scheduler stops at once, abandoning every other tasklet
+     * mid-stack (their fiber stacks are freed, not unwound — exactly a
+     * power loss). Dpu::run then wipes WRAM, resolves unfenced MRAM
+     * lines (crashScramble, seeded by plan seed and crash ordinal),
+     * clears the atomic register and throws DpuCrashError, leaving the
+     * DPU restartable via resetRun(reset_faults=false).
+     */
+    void beginCrash() { crash_pending_ = true; }
+    bool crashPending() const { return crash_pending_; }
+    /** @} */
 
     /**
      * @{ Scheduler trace sink. Host-only observability: emission sites
@@ -456,6 +523,8 @@ class Dpu
     Cycles mram_engine_free_ = 0;
     unsigned running_tid_ = 0;
     bool in_run_ = false;
+    /** An injected whole-DPU crash is unwinding the current run. */
+    bool crash_pending_ = false;
 
     // Incremental scheduler state: counts are updated at every tasklet
     // state transition so the hot path (instrCost on each compute /

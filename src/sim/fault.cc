@@ -109,6 +109,13 @@ FaultPlan::parse(const std::string &spec)
                     "--faults: crash op count is 1-based in item '", item,
                     "'");
             plan.crashes.push_back(f);
+        } else if (key == "dpu-crash") {
+            // dpu-crash=OPS (global, cross-tasklet STM-op count)
+            const u64 at_op = parseU64(val, item);
+            fatalIf(at_op == 0,
+                    "--faults: dpu-crash op count is 1-based in item '",
+                    item, "'");
+            plan.dpu_crashes.push_back(at_op);
         } else if (key == "acq-delay") {
             // acq-delay=PERMILLE:CYCLES
             auto [pm_s, cyc_s] = splitOnce(val, ':', item);
@@ -123,7 +130,7 @@ FaultPlan::parse(const std::string &spec)
             plan.abort_permille = parsePermille(val, item);
         } else {
             fatal("--faults: unknown item key '", key, "' (expected seed, "
-                  "stall, crash, acq-delay or abort)");
+                  "stall, crash, dpu-crash, acq-delay or abort)");
         }
     }
     return plan;
@@ -138,6 +145,11 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned max_tasklets)
 void
 FaultInjector::reset()
 {
+    global_ops_ = 0;
+    next_dpu_crash_ = 0;
+    dpu_crashes_delivered_ = 0;
+    dpu_crashes_ = plan_.dpu_crashes;
+    std::sort(dpu_crashes_.begin(), dpu_crashes_.end());
     for (unsigned tid = 0; tid < tasklets_.size(); ++tid) {
         TaskletState &t = tasklets_[tid];
         t.instrs = 0;
@@ -193,6 +205,13 @@ FaultInjector::onStmOp(unsigned tid, bool can_abort)
 {
     TaskletState &t = tasklets_[tid];
     ++t.stm_ops;
+    ++global_ops_;
+    if (next_dpu_crash_ < dpu_crashes_.size()
+        && global_ops_ >= dpu_crashes_[next_dpu_crash_]) {
+        ++next_dpu_crash_;
+        ++dpu_crashes_delivered_;
+        return StmFault::DpuCrash;
+    }
     if (t.next_crash < t.crashes.size()
         && t.stm_ops >= t.crashes[t.next_crash]) {
         ++t.next_crash;
@@ -215,6 +234,7 @@ std::atomic<u64> g_crashes{0};
 std::atomic<u64> g_injected_aborts{0};
 std::atomic<u64> g_escalations{0};
 std::atomic<u64> g_serial_commits{0};
+std::atomic<u64> g_dpu_crashes{0};
 
 } // namespace
 
@@ -228,6 +248,7 @@ faultTotals()
     t.injected_aborts = g_injected_aborts.load(std::memory_order_relaxed);
     t.escalations = g_escalations.load(std::memory_order_relaxed);
     t.serial_commits = g_serial_commits.load(std::memory_order_relaxed);
+    t.dpu_crashes = g_dpu_crashes.load(std::memory_order_relaxed);
     return t;
 }
 
@@ -243,6 +264,7 @@ accumulateFaultTotals(const FaultTotals &delta)
     g_escalations.fetch_add(delta.escalations, std::memory_order_relaxed);
     g_serial_commits.fetch_add(delta.serial_commits,
                                std::memory_order_relaxed);
+    g_dpu_crashes.fetch_add(delta.dpu_crashes, std::memory_order_relaxed);
 }
 
 } // namespace pimstm::sim

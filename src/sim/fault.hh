@@ -73,6 +73,15 @@ struct FaultPlan
     /** Crash points (items `crash=TID@OPS`). */
     std::vector<CrashFault> crashes;
 
+    /**
+     * Whole-DPU crash points (items `dpu-crash=OPS`): the DPU dies at
+     * its OPS-th STM operation counted across all tasklets (1-based).
+     * WRAM is destroyed, MRAM keeps only flushed lines (unfenced lines
+     * are dropped or torn, seeded from the plan seed), and the DPU is
+     * left restartable; Dpu::run throws DpuCrashError.
+     */
+    std::vector<u64> dpu_crashes;
+
     /** Per-acquire delay probability in permille (item
      * `acq-delay=PERMILLE:CYCLES`). */
     u32 acq_delay_permille = 0;
@@ -89,8 +98,8 @@ struct FaultPlan
     bool
     empty() const
     {
-        return stalls.empty() && crashes.empty() && acq_delay_permille == 0
-            && abort_permille == 0;
+        return stalls.empty() && crashes.empty() && dpu_crashes.empty()
+            && acq_delay_permille == 0 && abort_permille == 0;
     }
 
     /**
@@ -109,6 +118,8 @@ enum class StmFault : u8
     SpuriousAbort,
     /** Terminate the tasklet cleanly mid-transaction. */
     Crash,
+    /** Kill the whole DPU at this operation (docs/durability.md). */
+    DpuCrash,
 };
 
 /**
@@ -145,6 +156,10 @@ class FaultInjector
         return plan_;
     }
 
+    /** Whole-DPU crashes delivered so far (seeds the torn-write RNG of
+     * the Nth crash; not reset by resetRun(reset_faults=false)). */
+    u64 dpuCrashesDelivered() const { return dpu_crashes_delivered_; }
+
   private:
     struct TaskletState
     {
@@ -161,6 +176,13 @@ class FaultInjector
 
     FaultPlan plan_;
     std::vector<TaskletState> tasklets_;
+
+    /** Global (cross-tasklet) STM-op count driving dpu-crash points. */
+    u64 global_ops_ = 0;
+    /** Plan-listed dpu-crash op counts, ascending. */
+    std::vector<u64> dpu_crashes_;
+    size_t next_dpu_crash_ = 0;
+    u64 dpu_crashes_delivered_ = 0;
 };
 
 /**
@@ -172,6 +194,43 @@ class FaultInjector
 struct TaskletCrashException
 {
     unsigned tasklet;
+};
+
+/**
+ * Injected whole-DPU crash unwinding the tasklet that hit the crash
+ * point. Caught at the tasklet trampoline; the scheduler then stops
+ * immediately (other tasklets are abandoned mid-stack, exactly like a
+ * power loss), applies the memory crash effects and throws
+ * DpuCrashError from Dpu::run.
+ */
+struct DpuCrashException
+{
+    unsigned tasklet;
+};
+
+/**
+ * Host-level result of an injected whole-DPU crash: WRAM is wiped,
+ * unfenced MRAM lines are dropped or torn, and the DPU is restartable
+ * via resetRun(). Durable runs catch this, run recovery and restart;
+ * non-durable runs let it escape (guardedMain exits with code 3, like
+ * a watchdog verdict — the machine did not complete its program).
+ */
+class DpuCrashError : public std::runtime_error
+{
+  public:
+    DpuCrashError(u64 at_cycle, const std::string &message)
+        : std::runtime_error(message), at_cycle_(at_cycle)
+    {
+    }
+
+    u64
+    atCycle() const
+    {
+        return at_cycle_;
+    }
+
+  private:
+    u64 at_cycle_;
 };
 
 /**
@@ -248,6 +307,8 @@ struct FaultTotals
     u64 injected_aborts = 0;
     u64 escalations = 0;
     u64 serial_commits = 0;
+    /** Whole-DPU crashes delivered (docs/durability.md). */
+    u64 dpu_crashes = 0;
 };
 
 /** Snapshot of the process-wide fault totals. */

@@ -5,6 +5,20 @@
 
 #include "util/logging.hh"
 
+// A whole-DPU crash abandons suspended fibers without unwinding them
+// (sim/dpu.cc), so a reused stack buffer can carry stale ASan shadow
+// poison from frames that never returned. Clear it on re-init.
+#if defined(__SANITIZE_ADDRESS__)
+#define PIMSTM_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PIMSTM_FIBER_ASAN 1
+#endif
+#endif
+#ifdef PIMSTM_FIBER_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace pimstm::sim
 {
 
@@ -160,6 +174,9 @@ Fiber::init(size_t stack_bytes, Body body)
         stack_ = std::make_unique<char[]>(stack_bytes);
         stack_bytes_ = stack_bytes;
     }
+#ifdef PIMSTM_FIBER_ASAN
+    __asan_unpoison_memory_region(stack_.get(), stack_bytes_);
+#endif
     body_ = std::move(body);
     pending_exception_ = nullptr;
     finished_ = false;

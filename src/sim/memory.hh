@@ -24,11 +24,14 @@
 #define PIMSTM_SIM_MEMORY_HH
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "sim/addr.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/types.hh"
 
 namespace pimstm::sim
@@ -99,7 +102,89 @@ class Memory
         if (!data_.empty())
             std::memset(data_.data(), 0, data_.size());
         brk_ = 0;
+        persist_ = false;
+        pending_.clear();
     }
+
+    /**
+     * @{ Persist-boundary model (docs/durability.md). When tracking is
+     * on, every write captures the pre-image of each touched 8-byte
+     * line the first time the line is dirtied after the last fence();
+     * a fence() marks all pending lines durable, and crashScramble()
+     * resolves each still-pending line deterministically (kept,
+     * reverted to its last-flushed content, or half-torn) from a
+     * seeded RNG. Off (the default) costs one predictable branch per
+     * write; no state is kept and crashScramble is a no-op.
+     */
+    void
+    setPersistTracking(bool on)
+    {
+        persist_ = on;
+        pending_.clear();
+    }
+
+    bool persistTracking() const { return persist_; }
+
+    /** Lines dirtied since the last fence. */
+    size_t pendingPersistLines() const { return pending_.size(); }
+
+    /** Mark every pending line durable; returns how many there were. */
+    size_t
+    fence()
+    {
+        const size_t n = pending_.size();
+        pending_.clear();
+        return n;
+    }
+
+    /**
+     * Crash resolution of the unfenced write-back queue: each pending
+     * 8-byte line is independently kept, fully reverted to its
+     * last-flushed pre-image, or torn (one 4-byte half reverted),
+     * chosen by an RNG seeded from the fault plan. Deterministic:
+     * lines are visited in ascending offset order. Returns the number
+     * of lines not kept intact (reverted or torn).
+     */
+    size_t
+    crashScramble(u64 seed)
+    {
+        if (pending_.empty())
+            return 0;
+        Rng rng(seed);
+        size_t damaged = 0;
+        for (const auto &[line, pre] : pending_) {
+            switch (rng.below(4)) {
+              case 0: // kept: the line made it to the array
+                break;
+              case 1: // dropped: revert the whole line
+                writeRaw(line, pre.data(), 8);
+                ++damaged;
+                break;
+              case 2: // torn: low half reverted, high half kept
+                writeRaw(line, pre.data(), 4);
+                ++damaged;
+                break;
+              default: // torn: high half reverted, low half kept
+                writeRaw(line + 4, pre.data() + 4, 4);
+                ++damaged;
+                break;
+            }
+        }
+        pending_.clear();
+        return damaged;
+    }
+
+    /** Crash loss of a volatile tier: zero the materialized extent
+     * (allocations persist, as the bump allocator is host bookkeeping
+     * the restarted program re-derives). */
+    void
+    wipe()
+    {
+        if (!data_.empty())
+            std::memset(data_.data(), 0, data_.size());
+        pending_.clear();
+    }
+    /** @} */
 
     /** @{ Raw, untimed accessors. Offsets must be in range. */
     u32
@@ -118,6 +203,8 @@ class Memory
     void
     write32(u32 offset, u32 value)
     {
+        if (persist_)
+            notePersistWrite(offset, 4);
         if (static_cast<size_t>(offset) + 4 > data_.size())
             materialize(offset, 4);
         std::memcpy(data_.data() + offset, &value, 4);
@@ -139,6 +226,8 @@ class Memory
     void
     write64(u32 offset, u64 value)
     {
+        if (persist_)
+            notePersistWrite(offset, 8);
         if (static_cast<size_t>(offset) + 8 > data_.size())
             materialize(offset, 8);
         std::memcpy(data_.data() + offset, &value, 8);
@@ -157,6 +246,8 @@ class Memory
     void
     writeBlock(u32 offset, const void *src, size_t n)
     {
+        if (persist_)
+            notePersistWrite(offset, n);
         if (static_cast<size_t>(offset) + n > data_.size())
             materialize(offset, n);
         std::memcpy(data_.data() + offset, src, n);
@@ -165,6 +256,8 @@ class Memory
     void
     fill(u32 offset, u8 byte, size_t n)
     {
+        if (persist_)
+            notePersistWrite(offset, n);
         if (static_cast<size_t>(offset) + n > data_.size())
             materialize(offset, n);
         std::memset(data_.data() + offset, byte, n);
@@ -211,10 +304,44 @@ class Memory
         data_.resize(target); // value-initializes (zeros) the new tail
     }
 
+    /** Record the pre-image of every 8-byte line [offset, offset+n)
+     * touches, the first time each is dirtied since the last fence. */
+    void
+    notePersistWrite(u32 offset, size_t n)
+    {
+        const u32 first = offset & ~7u;
+        const u32 last = static_cast<u32>((offset + n - 1) & ~7u);
+        for (u32 line = first;; line += 8) {
+            auto it = pending_.lower_bound(line);
+            if (it == pending_.end() || it->first != line) {
+                std::array<u8, 8> pre;
+                readSparse(line, pre.data(), 8);
+                pending_.emplace_hint(it, line, pre);
+            }
+            if (line == last)
+                break;
+        }
+    }
+
+    /** Write bytes without persist bookkeeping (crash resolution). */
+    void
+    writeRaw(u32 offset, const u8 *src, size_t n)
+    {
+        if (static_cast<size_t>(offset) + n > data_.size())
+            materialize(offset, n);
+        std::memcpy(data_.data() + offset, src, n);
+    }
+
     Tier tier_;
     size_t capacity_;
     std::vector<u8> data_;
     size_t brk_ = 0;
+
+    /** Persist boundary (off unless durable mode enables it). */
+    bool persist_ = false;
+    /** Unflushed 8-byte lines -> last-flushed pre-image (ordered, so
+     * crash resolution is deterministic). */
+    std::map<u32, std::array<u8, 8>> pending_;
 };
 
 } // namespace pimstm::sim

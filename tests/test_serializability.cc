@@ -223,6 +223,144 @@ runIncrementHistoryCheck(const Param &param, const FaultPlan &faults)
 }
 
 //
+// Crash-stitched histories: the increment protocol under durable mode
+// with injected whole-DPU crashes (docs/durability.md). The stitched
+// history — every committed transaction across all crash-restart
+// rounds — must still be serializable. One wrinkle: a crash can land
+// between a transaction's durable commit point and the host-side
+// record of its observations, so the recorded history may have GAPS
+// (a committed increment nobody logged). Gaps weaken the per-cell
+// completeness check (bounded by in-flight transactions at crash
+// time) but never excuse a duplicate observation (lost update) or a
+// precedence cycle.
+//
+
+/** POD committed-tx record: whole-DPU crashes abandon fiber stacks
+ * without unwinding, so nothing heap-owning may live there. */
+struct PodTx
+{
+    u32 cell[3];
+    u32 value[3];
+    u32 n;
+};
+
+void
+runDurableCrashStitchedCheck(const Param &param, const std::string &spec)
+{
+    constexpr u32 kCells = 8;
+    constexpr unsigned kTasklets = 6;
+    constexpr unsigned kOpsPerTasklet = 12;
+    constexpr unsigned kMaxCellsPerTx = 3;
+
+    DpuConfig dpu_cfg;
+    dpu_cfg.mram_bytes = 1 * 1024 * 1024;
+    dpu_cfg.seed = 2027;
+    dpu_cfg.faults = FaultPlan::parse(spec);
+    Dpu dpu(dpu_cfg, TimingConfig{});
+
+    StmConfig cfg;
+    cfg.kind = param.kind;
+    cfg.metadata_tier = param.tier;
+    cfg.num_tasklets = kTasklets;
+    cfg.max_read_set = 32;
+    cfg.max_write_set = 16;
+    cfg.data_words_hint = kCells;
+    cfg.durable = true;
+    auto stm = makeStm(dpu, cfg);
+
+    SharedArray32 counters(dpu, Tier::Mram, kCells);
+    counters.fill(dpu, 0);
+    dpu.mram().fence(); // host-loaded initial image is durable
+
+    std::vector<std::vector<PodTx>> logs(kTasklets);
+    const auto body = [&](DpuContext &ctx) {
+        const unsigned me = ctx.taskletId();
+        for (unsigned op = 0; op < kOpsPerTasklet; ++op) {
+            const unsigned n =
+                static_cast<unsigned>(ctx.rng().range(1, kMaxCellsPerTx));
+            u32 cells[kMaxCellsPerTx];
+            unsigned picked = 0;
+            while (picked < n) {
+                const u32 c = static_cast<u32>(ctx.rng().below(kCells));
+                bool dup = false;
+                for (unsigned i = 0; i < picked; ++i)
+                    dup = dup || cells[i] == c;
+                if (!dup)
+                    cells[picked++] = c;
+            }
+            PodTx rec;
+            atomically(*stm, ctx, [&](TxHandle &tx) {
+                rec.n = 0;
+                for (unsigned i = 0; i < n; ++i) {
+                    const u32 v = tx.read(counters.at(cells[i]));
+                    tx.write(counters.at(cells[i]), v + 1);
+                    rec.cell[rec.n] = cells[i];
+                    rec.value[rec.n] = v;
+                    ++rec.n;
+                }
+            });
+            // Committed. (A crash landing before this line loses the
+            // record but not the increment: that is the gap budget.)
+            logs[me].push_back(rec);
+        }
+    };
+
+    dpu.addTasklets(kTasklets, body);
+    unsigned crashes = 0;
+    for (;;) {
+        try {
+            dpu.run();
+            break;
+        } catch (const DpuCrashError &) {
+            ++crashes;
+            ASSERT_LT(crashes, 64u) << "crash-restart loop not converging";
+            dpu.resetRun(/*reset_faults=*/false);
+            (void)stm->recoverAfterCrash();
+            dpu.addTasklets(kTasklets, body);
+        }
+    }
+    ASSERT_GT(crashes, 0u) << "plan '" << spec << "' never fired";
+
+    std::vector<CommittedTx> txs;
+    for (const auto &l : logs)
+        for (const auto &r : l) {
+            CommittedTx t;
+            for (u32 i = 0; i < r.n; ++i)
+                t.observations.emplace_back(r.cell[i], r.value[i]);
+            txs.push_back(std::move(t));
+        }
+
+    // Property 1 (crash-stitched form): per cell, no value observed
+    // twice, every observed value below the final counter, and the
+    // total number of unobserved committed increments bounded by the
+    // in-flight transactions the crashes could have cut off.
+    std::vector<std::map<u32, size_t>> by_cell(kCells);
+    for (size_t t = 0; t < txs.size(); ++t) {
+        for (const auto &[cell, value] : txs[t].observations) {
+            const auto [it, fresh] = by_cell[cell].emplace(value, t);
+            ASSERT_TRUE(fresh)
+                << "cell " << cell << ": value " << value
+                << " observed twice (lost update across crash)";
+        }
+    }
+    u64 missing = 0;
+    for (u32 c = 0; c < kCells; ++c) {
+        const u32 fin = counters.peek(dpu, c);
+        for (const auto &[value, tx] : by_cell[c])
+            ASSERT_LT(value, fin) << "cell " << c
+                                  << ": observation beyond final state";
+        ASSERT_GE(fin, by_cell[c].size());
+        missing += fin - static_cast<u32>(by_cell[c].size());
+    }
+    EXPECT_LE(missing, static_cast<u64>(crashes) * kTasklets *
+                           kMaxCellsPerTx)
+        << "more unobserved increments than crashes can explain";
+
+    // Property 2 unchanged: the recorded suborder must stay acyclic.
+    checkAcyclicPrecedence(txs, kCells);
+}
+
+//
 // Multi-shard histories: the 2PC layer on top of the STMs. Tokens
 // (unique values) are seeded once and then relocated by random
 // cross-shard transactions; after every batch, the set of committed
@@ -345,6 +483,17 @@ TEST_P(Serializability, HistoriesStaySerializableUnderFaultInjection)
         GetParam(),
         FaultPlan::parse("seed=5;stall=*@3000:500;stall=2@9000:1500;"
                          "acq-delay=60:250;abort=30"));
+}
+
+TEST_P(Serializability, CrashStitchedHistoriesStaySerializable)
+{
+    // Durable mode + whole-DPU crashes: recovery stitches the flushed
+    // prefix into the restarted run; the combined committed history
+    // must still be serializable. Two plans: a mid-run crash and a
+    // double crash with a different scramble seed.
+    runDurableCrashStitchedCheck(GetParam(), "dpu-crash=90");
+    runDurableCrashStitchedCheck(GetParam(),
+                                 "dpu-crash=60;dpu-crash=200;seed=9");
 }
 
 TEST_P(Serializability, MultiShardMoveHistoriesAreSerializable)
