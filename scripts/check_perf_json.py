@@ -97,6 +97,20 @@ def main():
                                 f"{b_dur.get(field)} != fresh "
                                 f"{f_dur.get(field)}")
 
+    # The serving layer runs entirely on simulated time (arrival
+    # clocks, batch budgets, histogram percentiles — docs/serving.md):
+    # when both artifacts carry a "serving" block it must match
+    # exactly. Any drift means admission, batching or backend cost
+    # changed.
+    b_srv, f_srv = base.get("serving"), fresh.get("serving")
+    if b_srv is not None and f_srv is not None and b_srv != f_srv:
+        for field in sorted(set(b_srv) | set(f_srv)):
+            if b_srv.get(field) != f_srv.get(field):
+                failures.append(f"serving.{field}: baseline "
+                                f"{json.dumps(b_srv.get(field))[:200]} "
+                                f"!= fresh "
+                                f"{json.dumps(f_srv.get(field))[:200]}")
+
     # Host performance: informational only.
     bw = base.get("totals", {}).get("wall_s")
     fw = fresh.get("totals", {}).get("wall_s")

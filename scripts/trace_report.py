@@ -21,7 +21,11 @@ from its "trace" block:
   - the log2 histograms (transaction latency, commit latency, and
     read/write-set size at commit),
   - the epoch-controller decision timeline from the "adaptive" block
-    (docs/adaptive.md) when the bench ran with online adaptation.
+    (docs/adaptive.md) when the bench ran with online adaptation,
+  - the open-loop serving summary (per-scenario SLO percentiles,
+    shed counts, throughput timeline, or the capacity-search result)
+    from the "serving" block (docs/serving.md) written by
+    bench/serve_kv.
 
 With a --trace-out Perfetto file, prints per-track event counts, the
 abort breakdown reconstructed from the "abort" instant events, and —
@@ -104,22 +108,82 @@ def report_adaptive(adaptive):
               f"{d['action']:<16} value={d['value']:g}")
 
 
+def _serving_report_lines(rep, indent):
+    """Render one runtime::ServingReport JSON object."""
+    e2e = rep["e2e"]
+    print(f"{indent}offered {rep['offered']}, completed "
+          f"{rep['completed']}, shed {rep['shed']} "
+          f"({rep['rounds']} rounds, {rep['batches']} batches)")
+    print(f"{indent}throughput {rep['throughput_per_s']:.1f} req/s "
+          f"over {rep['makespan_s'] * 1e3:.3f} ms, mean occupancy "
+          f"{rep['mean_occupancy']:.3f}")
+    print(f"{indent}e2e latency: p50 {e2e['p50_ns'] / 1e6:.3f} ms, "
+          f"p99 {e2e['p99_ns'] / 1e6:.3f} ms, "
+          f"p999 {e2e['p999_ns'] / 1e6:.3f} ms, "
+          f"max {e2e['max_ns'] / 1e6:.3f} ms")
+    shards = rep.get("shards", [])
+    if shards:
+        worst = max(shards, key=lambda s: s["p99_ns"])
+        shedding = sum(1 for s in shards if s["shed"])
+        print(f"{indent}{len(shards)} shards: worst shard p99 "
+              f"{worst['p99_ns'] / 1e6:.3f} ms, peak queue "
+              f"{max(s['peak_queue'] for s in shards)}, "
+              f"{shedding} shard(s) shed")
+    timeline = rep.get("timeline", [])
+    if timeline:
+        peak = max(t["completed"] for t in timeline)
+        print(f"{indent}timeline (completed per window | window p99):")
+        for t in timeline:
+            print(f"{indent}  <= {t['t_end_s'] * 1e3:>9.3f} ms  "
+                  f"{t['completed']:>7}  "
+                  f"{bar(t['completed'], peak, 24):<24} "
+                  f"p99 {t['p99_ns'] / 1e6:.3f} ms"
+                  + (f"  shed {t['shed']}" if t["shed"] else ""))
+
+
+def report_serving(serving):
+    """Open-loop serving summary (docs/serving.md)."""
+    print("== serving ==")
+    if serving.get("mode") == "capacity":
+        print(f"  capacity search, SLO: p99 <= "
+              f"{serving['slo_p99_ms']:g} ms, zero shed")
+        for c in serving.get("capacity", []):
+            print(f"  {c['name']}: capacity "
+                  f"{c['capacity_per_s']:.1f} req/s "
+                  f"({c['probes']} probes); at capacity:")
+            _serving_report_lines(c["at_capacity"], "    ")
+        return
+    for s in serving.get("scenarios", []):
+        line = (f"  {s['name']} @ {s['rate_per_s']:.0f} req/s "
+                f"offered")
+        if s.get("adaptive_decisions"):
+            line += (f" ({s['adaptive_decisions']} adaptive "
+                     f"decisions)")
+        print(line)
+        _serving_report_lines(s["report"], "    ")
+
+
 def report_perf_json(data, top_k):
     trace = data.get("trace")
     adaptive = data.get("adaptive")
     durable = data.get("durable")
+    serving = data.get("serving")
     if trace is None:
         if durable is not None:
             report_durable(durable)
         if adaptive is not None:
             report_adaptive(adaptive)
-        if durable is not None or adaptive is not None:
+        if serving is not None:
+            report_serving(serving)
+        if durable is not None or adaptive is not None \
+                or serving is not None:
             return
-        sys.exit("error: no 'trace', 'adaptive' or 'durable' block in "
-                 "this artifact — rerun the bench with --trace (see "
-                 "docs/observability.md), with online adaptation "
-                 "(docs/adaptive.md) or with --durable=on "
-                 "(docs/durability.md)")
+        sys.exit("error: no 'trace', 'adaptive', 'durable' or "
+                 "'serving' block in this artifact — rerun the bench "
+                 "with --trace (see docs/observability.md), with "
+                 "online adaptation (docs/adaptive.md), with "
+                 "--durable=on (docs/durability.md), or use "
+                 "bench/serve_kv (docs/serving.md)")
 
     print(f"trace: {trace['runs']} traced runs, "
           f"{trace['dropped']} ring-dropped records "
@@ -183,6 +247,9 @@ def report_perf_json(data, top_k):
         print()
     if adaptive is not None:
         report_adaptive(adaptive)
+        print()
+    if serving is not None:
+        report_serving(serving)
 
 
 def report_perfetto(events, top_k):

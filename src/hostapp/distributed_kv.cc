@@ -1196,6 +1196,20 @@ DistributedKv::livePins() const
     return n;
 }
 
+core::Stm &
+DistributedKv::shardStm(unsigned s)
+{
+    panicIf(s >= shards_.size(), "shardStm: shard out of range");
+    return *shards_[s].stm;
+}
+
+sim::Dpu &
+DistributedKv::shardDpu(unsigned s)
+{
+    panicIf(s >= shards_.size(), "shardDpu: shard out of range");
+    return *shards_[s].dpu;
+}
+
 void
 DistributedKv::foldTotalsDelta()
 {

@@ -312,6 +312,17 @@ class DistributedKv
     /** Outstanding pins across all shards (0 when quiescent). */
     u32 livePins() const;
 
+    /**
+     * @{ Composition hooks (bench/serve_kv.cc, docs/serving.md):
+     * borrow one shard's STM / DPU, e.g. to attach a per-shard
+     * runtime::AdaptiveController via Dpu::setEpochHook. Callers must
+     * not run the DPU themselves and must leave both quiescent
+     * between execute() calls.
+     */
+    core::Stm &shardStm(unsigned s);
+    sim::Dpu &shardDpu(unsigned s);
+    /** @} */
+
     unsigned numShards() const
     {
         return static_cast<unsigned>(shards_.size());

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Serving-layer tests (runtime/serving.hh, docs/serving.md): the
+ * arrival / popularity generators, the open-loop harness against a
+ * deterministic stub backend, and the SLO arithmetic. Everything here
+ * is host-pure and fiber-free (no sim::Dpu), so the Serving* suites
+ * run under the TSan filter as well as ASan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "runtime/serving.hh"
+#include "util/rng.hh"
+
+using namespace pimstm;
+using namespace pimstm::runtime;
+
+namespace
+{
+
+//
+// Generators
+//
+
+TEST(ServingStream, DeterministicReplay)
+{
+    StreamConfig cfg;
+    cfg.arrival.rate_per_s = 10e3;
+    cfg.keys = 1024;
+    cfg.op_weights = {0.5, 0.4, 0.1};
+    cfg.seed = 42;
+
+    const auto a = makeStream(cfg, 5000);
+    const auto b = makeStream(cfg, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].value, b[i].value);
+    }
+
+    // A different seed perturbs every axis.
+    cfg.seed = 43;
+    const auto c = makeStream(cfg, 5000);
+    size_t diff = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        diff += a[i].arrival_s != c[i].arrival_s ? 1 : 0;
+    EXPECT_GT(diff, 4000u);
+}
+
+TEST(ServingStream, PoissonInterArrivalMoments)
+{
+    const double rate = 50e3;
+    ArrivalConfig cfg;
+    cfg.rate_per_s = rate;
+    ArrivalProcess p(cfg, 7);
+
+    const size_t n = 50000;
+    double prev = 0;
+    double sum = 0, sum_sq = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const double t = p.next();
+        ASSERT_GT(t, prev); // strictly increasing
+        const double dt = t - prev;
+        sum += dt;
+        sum_sq += dt * dt;
+        prev = t;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        sum_sq / static_cast<double>(n) - mean * mean;
+    // Exponential(rate): mean == std == 1/rate. 50k samples put the
+    // sample moments well within 5%.
+    EXPECT_NEAR(mean, 1.0 / rate, 0.05 / rate);
+    EXPECT_NEAR(std::sqrt(var), 1.0 / rate, 0.05 / rate);
+}
+
+TEST(ServingStream, BurstyMatchesMeanRateAndOverdisperses)
+{
+    const double rate = 50e3;
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.rate_per_s = rate;
+    ArrivalProcess p(cfg, 11);
+
+    const size_t n = 200000;
+    double prev = 0;
+    double sum = 0, sum_sq = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const double t = p.next();
+        const double dt = t - prev;
+        sum += dt;
+        sum_sq += dt * dt;
+        prev = t;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        sum_sq / static_cast<double>(n) - mean * mean;
+    // Long-run rate is calibrated to rate_per_s...
+    EXPECT_NEAR(mean * rate, 1.0, 0.05);
+    // ...but the process is burstier than Poisson: the squared
+    // coefficient of variation of a Poisson stream is 1.
+    const double cv2 = var / (mean * mean);
+    EXPECT_GT(cv2, 1.3);
+}
+
+TEST(ServingStream, ZipfianSkewAndBounds)
+{
+    const u64 keys = 1000;
+    ZipfianGenerator zipf(keys, 0.99);
+    Rng rng(5);
+    std::vector<u64> counts(keys, 0);
+    const size_t n = 200000;
+    for (size_t i = 0; i < n; ++i) {
+        const u64 r = zipf.next(rng);
+        ASSERT_LT(r, keys);
+        ++counts[r];
+    }
+    // Rank 0 dominates any deep rank decisively.
+    EXPECT_GT(counts[0], 20 * counts[500] + 1);
+    // The hottest 1% of ranks draw a disproportionate share.
+    u64 top = 0;
+    for (size_t r = 0; r < keys / 100; ++r)
+        top += counts[r];
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(n), 0.2);
+
+    // theta == 0 degrades to uniform: no rank stands out 3x.
+    ZipfianGenerator uni(keys, 0.0);
+    std::vector<u64> ucounts(keys, 0);
+    for (size_t i = 0; i < n; ++i)
+        ++ucounts[uni.next(rng)];
+    const double expect = static_cast<double>(n) / keys;
+    EXPECT_LT(ucounts[0], 3 * expect);
+    EXPECT_GT(ucounts[keys - 1], expect / 3);
+}
+
+TEST(ServingStream, OpMixFollowsWeights)
+{
+    StreamConfig cfg;
+    cfg.arrival.rate_per_s = 100e3;
+    cfg.keys = 64;
+    cfg.op_weights = {0.6, 0.3, 0.1};
+    cfg.seed = 3;
+    const auto stream = makeStream(cfg, 30000);
+    u64 by_op[3] = {};
+    for (const auto &r : stream) {
+        ASSERT_LT(r.op, 3);
+        ++by_op[r.op];
+    }
+    const double n = static_cast<double>(stream.size());
+    EXPECT_NEAR(by_op[0] / n, 0.6, 0.02);
+    EXPECT_NEAR(by_op[1] / n, 0.3, 0.02);
+    EXPECT_NEAR(by_op[2] / n, 0.1, 0.02);
+}
+
+//
+// Harness (stub backend: fixed per-item service + per-round overhead;
+// no simulator involved).
+//
+
+class StubBackend : public ServingBackend
+{
+  public:
+    StubBackend(unsigned shards, double per_item_s, double fixed_s)
+        : shards_(shards), per_item_s_(per_item_s), fixed_s_(fixed_s)
+    {
+    }
+
+    unsigned
+    numShards() const override
+    {
+        return shards_;
+    }
+
+    unsigned
+    shardOf(const ServingRequest &req) const override
+    {
+        return req.key % shards_;
+    }
+
+    RoundCost
+    executeRound(
+        const std::vector<std::vector<ServingRequest>> &batches)
+        override
+    {
+        RoundCost c;
+        c.shard_busy_seconds.assign(shards_, 0.0);
+        double worst = 0;
+        for (unsigned s = 0; s < shards_; ++s) {
+            const double busy = per_item_s_
+                * static_cast<double>(batches[s].size());
+            c.shard_busy_seconds[s] = busy;
+            worst = std::max(worst, busy);
+            served_ += batches[s].size();
+        }
+        c.round_seconds = fixed_s_ + worst;
+        ++rounds_;
+        return c;
+    }
+
+    u64 served() const { return served_; }
+    u64 rounds() const { return rounds_; }
+
+  private:
+    unsigned shards_;
+    double per_item_s_;
+    double fixed_s_;
+    u64 served_ = 0;
+    u64 rounds_ = 0;
+};
+
+ServingConfig
+tightConfig()
+{
+    ServingConfig cfg;
+    cfg.batch_budget_s = 200e-6;
+    cfg.max_batch_per_shard = 4;
+    cfg.queue_cap_per_shard = 8;
+    return cfg;
+}
+
+TEST(ServingHarness, ConservationUnderOverload)
+{
+    // Service is far slower than arrivals and queues are tiny, so
+    // admission control must shed — and account for every request.
+    StubBackend backend(4, /*per_item_s=*/1e-3, /*fixed_s=*/1e-3);
+    StreamConfig scfg;
+    scfg.arrival.rate_per_s = 100e3;
+    scfg.keys = 64;
+    scfg.seed = 9;
+    const auto stream = makeStream(scfg, 4000);
+
+    const ServingReport rep =
+        runServing(backend, stream, tightConfig());
+    EXPECT_EQ(rep.offered, stream.size());
+    EXPECT_GT(rep.shed, 0u);
+    EXPECT_EQ(rep.offered, rep.completed + rep.shed);
+    EXPECT_EQ(rep.completed, backend.served());
+    EXPECT_EQ(rep.rounds, backend.rounds());
+
+    // Shard-level conservation too.
+    u64 offered = 0, completed = 0, shed = 0;
+    for (const auto &sh : rep.shards) {
+        offered += sh.offered;
+        completed += sh.completed;
+        shed += sh.shed;
+        EXPECT_EQ(sh.offered, sh.completed + sh.shed);
+        EXPECT_LE(sh.peak_queue, 8u);
+    }
+    EXPECT_EQ(offered, rep.offered);
+    EXPECT_EQ(completed, rep.completed);
+    EXPECT_EQ(shed, rep.shed);
+}
+
+TEST(ServingHarness, NoShedBelowCapacity)
+{
+    // 4 shards x 4-item batches every ~300us is far above the
+    // offered 10k req/s: nothing is shed and every percentile is
+    // bounded by budget + round time.
+    StubBackend backend(4, /*per_item_s=*/5e-6, /*fixed_s=*/50e-6);
+    StreamConfig scfg;
+    scfg.arrival.rate_per_s = 10e3;
+    scfg.keys = 64;
+    scfg.seed = 4;
+    const auto stream = makeStream(scfg, 2000);
+
+    const ServingReport rep =
+        runServing(backend, stream, tightConfig());
+    EXPECT_EQ(rep.shed, 0u);
+    EXPECT_EQ(rep.completed, stream.size());
+    // Worst case: waits a full budget, then one round behind a full
+    // round in flight. Generous cap in bucket space: 1 ms.
+    EXPECT_LT(histogramPercentile(rep.e2e_ns, 0.999), 1000000u);
+}
+
+TEST(ServingHarness, DeterministicReplay)
+{
+    StreamConfig scfg;
+    scfg.arrival.rate_per_s = 30e3;
+    scfg.keys = 128;
+    scfg.seed = 21;
+    const auto stream = makeStream(scfg, 3000);
+
+    StubBackend b1(8, 2e-5, 6e-5);
+    StubBackend b2(8, 2e-5, 6e-5);
+    const ServingReport r1 =
+        runServing(b1, stream, tightConfig());
+    const ServingReport r2 =
+        runServing(b2, stream, tightConfig());
+    // Bitwise-identical accounting, including the JSON rendering
+    // (the perf-json gate depends on this).
+    EXPECT_EQ(servingReportJson(r1), servingReportJson(r2));
+    EXPECT_EQ(r1.makespan_s, r2.makespan_s);
+    EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+TEST(ServingHarness, SingleRequestLatencyIsBudgetPlusRound)
+{
+    // One request, alone in the world: it waits out the full batch
+    // budget, then one round of fixed + one-item service. The
+    // histogram stores nanoseconds, so the percentile must return
+    // the upper bound of that exact value's log2 bucket.
+    StubBackend backend(2, /*per_item_s=*/100e-6, /*fixed_s=*/50e-6);
+    std::vector<ServingRequest> stream(1);
+    stream[0].arrival_s = 0.001;
+    stream[0].key = 1;
+
+    ServingConfig cfg;
+    cfg.batch_budget_s = 200e-6;
+    cfg.max_batch_per_shard = 4;
+    cfg.queue_cap_per_shard = 8;
+    const ServingReport rep = runServing(backend, stream, cfg);
+
+    ASSERT_EQ(rep.completed, 1u);
+    // latency = 200us budget + 150us round = 350'000 ns; bucket
+    // [2^18, 2^19) has inclusive upper bound 524287.
+    const u64 expect_bucket_hi = (u64{1} << 19) - 1;
+    EXPECT_EQ(histogramPercentile(rep.e2e_ns, 0.50), expect_bucket_hi);
+    EXPECT_EQ(histogramPercentile(rep.e2e_ns, 0.99), expect_bucket_hi);
+    EXPECT_EQ(rep.e2e_ns.count, 1u);
+    EXPECT_EQ(rep.e2e_ns.min, 350000u);
+    EXPECT_EQ(rep.e2e_ns.max, 350000u);
+}
+
+//
+// SLO arithmetic
+//
+
+TEST(ServingSlo, PercentileAgainstHandComputedHistogram)
+{
+    core::LogHistogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(100); // bucket bit_width(100)=7, upper bound 127
+    for (int i = 0; i < 89; ++i)
+        h.add(1000); // bucket 10, upper bound 1023
+    h.add(1000000); // bucket 20, upper bound 1048575
+
+    // count=100: p50 -> 50th sample (1000s), p90 -> 90th (1000s),
+    // p99 -> 99th (1000s), p999 -> ceil(99.9)=100th (the outlier).
+    EXPECT_EQ(histogramPercentile(h, 0.10), 127u);
+    EXPECT_EQ(histogramPercentile(h, 0.50), 1023u);
+    EXPECT_EQ(histogramPercentile(h, 0.99), 1023u);
+    EXPECT_EQ(histogramPercentile(h, 0.999), 1048575u);
+
+    core::LogHistogram empty;
+    EXPECT_EQ(histogramPercentile(empty, 0.99), 0u);
+}
+
+TEST(ServingSlo, MeetsSloRespectsShedAndP99)
+{
+    ServingReport r;
+    r.e2e_ns.add(100000); // p99 bucket upper bound 131071 ns
+    SloSpec slo;
+    slo.p99_s = 1e-3;
+    EXPECT_TRUE(meetsSlo(r, slo));
+
+    r.shed = 1;
+    EXPECT_FALSE(meetsSlo(r, slo));
+    slo.require_zero_shed = false;
+    EXPECT_TRUE(meetsSlo(r, slo));
+
+    slo.p99_s = 100e-9; // tighter than the bucket bound
+    EXPECT_FALSE(meetsSlo(r, slo));
+}
+
+TEST(ServingSlo, CapacitySearchFindsTheKnee)
+{
+    // Synthetic system with a hard knee at 100k req/s.
+    auto run = [](double rate) {
+        ServingReport r;
+        r.e2e_ns.add(rate <= 100e3 ? 100000u : 10000000u);
+        r.completed = 1;
+        r.makespan_s = 1.0;
+        return r;
+    };
+    SloSpec slo;
+    slo.p99_s = 1e-3;
+    const CapacityResult res =
+        findCapacity(run, slo, /*lo_rate=*/10e3, /*max_rate=*/1e6);
+    EXPECT_GT(res.capacity_per_s, 99e3);
+    EXPECT_LE(res.capacity_per_s, 100e3);
+    // Probes: strictly below the knee all pass, above all fail.
+    for (const auto &p : res.probes)
+        EXPECT_EQ(p.ok, p.rate_per_s <= 100e3);
+
+    // A floor above the knee reports no capacity.
+    const CapacityResult none =
+        findCapacity(run, slo, 200e3, 1e6);
+    EXPECT_EQ(none.capacity_per_s, 0.0);
+}
+
+} // namespace
